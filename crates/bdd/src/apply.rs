@@ -1,0 +1,292 @@
+//! The ITE operator and derived Boolean connectives.
+
+use crate::edge::Edge;
+use crate::manager::Manager;
+use crate::Result;
+
+impl Manager {
+    /// If-then-else: `ite(f, g, h) = f·g + f̄·h`.
+    ///
+    /// This is the single primitive all binary connectives reduce to
+    /// (Brace–Rudell–Bryant). Results are memoized in the manager's
+    /// computed table under a normalized key, so equivalent calls hit the
+    /// cache regardless of argument form.
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Result<Edge> {
+        // --- terminal cases -------------------------------------------------
+        if f.is_one() {
+            return Ok(g);
+        }
+        if f.is_zero() {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g.is_one() && h.is_zero() {
+            return Ok(f);
+        }
+        if g.is_zero() && h.is_one() {
+            return Ok(f.complement());
+        }
+
+        // --- argument normalization -----------------------------------------
+        let (mut f, mut g, mut h) = (f, g, h);
+        if g == f {
+            g = Edge::ONE; // ite(f, f, h) = ite(f, 1, h)
+        } else if g == f.complement() {
+            g = Edge::ZERO; // ite(f, f̄, h) = ite(f, 0, h)
+        }
+        if h == f {
+            h = Edge::ZERO; // ite(f, g, f) = ite(f, g, 0)
+        } else if h == f.complement() {
+            h = Edge::ONE; // ite(f, g, f̄) = ite(f, g, 1)
+        }
+        // Re-check terminal cases after substitution.
+        if g == h {
+            return Ok(g);
+        }
+        if g.is_one() && h.is_zero() {
+            return Ok(f);
+        }
+        if g.is_zero() && h.is_one() {
+            return Ok(f.complement());
+        }
+
+        // Commutative symmetries: pick the representative with the
+        // lower-level (then lower-raw) first argument.
+        if g.is_one() {
+            // ite(f, 1, h) = f + h = ite(h, 1, f)
+            if self.rank(h, f) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if h.is_zero() {
+            // ite(f, g, 0) = f · g = ite(g, f, 0)
+            if self.rank(g, f) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if g.is_zero() {
+            // ite(f, 0, h) = f̄ · h = ite(h̄, 0, f̄)  … normalize via (h̄, 0, f̄)
+            if self.rank(h, f) {
+                let nf = f.complement();
+                f = h.complement();
+                h = nf;
+            }
+        } else if h.is_one() {
+            // ite(f, g, 1) = f̄ + g = ite(ḡ, f̄, 1)
+            if self.rank(g, f) {
+                let nf = f.complement();
+                f = g.complement();
+                g = nf;
+            }
+        } else if g == h.complement() {
+            // ite(f, g, ḡ) = f ⊙ g; canonical first arg.
+            if self.rank(g, f) {
+                std::mem::swap(&mut f, &mut g);
+                h = g.complement();
+            }
+        }
+
+        // Complement-edge normalization: first argument regular…
+        if f.is_complemented() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // …and then-result regular (complement the output instead).
+        let mut negate = false;
+        if g.is_complemented() {
+            negate = true;
+            g = g.complement();
+            h = h.complement();
+        }
+
+        if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
+            return Ok(cached.complement_if(negate));
+        }
+
+        // --- recursion -------------------------------------------------------
+        let level = self
+            .node_level(f)
+            .min(self.node_level(g))
+            .min(self.node_level(h));
+        let (f1, f0) = self.cofactors_at(f, level);
+        let (g1, g0) = self.cofactors_at(g, level);
+        let (h1, h0) = self.cofactors_at(h, level);
+        let t = self.ite(f1, g1, h1)?;
+        let e = self.ite(f0, g0, h0)?;
+        let r = self.mk(level, t, e)?;
+        self.ite_cache.insert((f, g, h), r);
+        Ok(r.complement_if(negate))
+    }
+
+    /// True when `a` should precede `b` in the canonical ITE argument order.
+    #[inline]
+    fn rank(&self, a: Edge, b: Edge) -> bool {
+        let (la, lb) = (self.node_level(a), self.node_level(b));
+        la < lb || (la == lb && a.regular().raw() < b.regular().raw())
+    }
+
+    /// Shallow cofactors of `e` with respect to the variable at `level`.
+    ///
+    /// If `e`'s top level is below `level` the function does not depend on
+    /// that variable and both cofactors are `e` itself.
+    #[inline]
+    pub(crate) fn cofactors_at(&self, e: Edge, level: u32) -> (Edge, Edge) {
+        if e.is_const() || self.node_level(e) != level {
+            return (e, e);
+        }
+        let n = &self.nodes[e.node() as usize];
+        let c = e.is_complemented();
+        (n.high.complement_if(c), n.low.complement_if(c))
+    }
+
+    /// Conjunction `f · g`.
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn and(&mut self, f: Edge, g: Edge) -> Result<Edge> {
+        self.ite(f, g, Edge::ZERO)
+    }
+
+    /// Disjunction `f + g`.
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn or(&mut self, f: Edge, g: Edge) -> Result<Edge> {
+        self.ite(f, Edge::ONE, g)
+    }
+
+    /// Exclusive or `f ⊕ g`.
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn xor(&mut self, f: Edge, g: Edge) -> Result<Edge> {
+        self.ite(f, g.complement(), g)
+    }
+
+    /// Equivalence `f ⊙ g` (XNOR).
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn xnor(&mut self, f: Edge, g: Edge) -> Result<Edge> {
+        self.ite(f, g, g.complement())
+    }
+
+    /// Implication `f → g`.
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn implies(&mut self, f: Edge, g: Edge) -> Result<Edge> {
+        self.ite(f, g, Edge::ONE)
+    }
+
+    /// Difference `f · ḡ`.
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn and_not(&mut self, f: Edge, g: Edge) -> Result<Edge> {
+        self.ite(f, g.complement(), Edge::ZERO)
+    }
+
+    /// Returns `true` iff `f ⊆ g` (as ON-sets), i.e. `f · ḡ = 0`.
+    ///
+    /// # Errors
+    /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
+    pub fn leq(&mut self, f: Edge, g: Edge) -> Result<bool> {
+        Ok(self.and_not(f, g)?.is_zero())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Manager;
+
+    fn setup() -> (Manager, Edge, Edge, Edge) {
+        let mut m = Manager::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let c = m.new_var("c");
+        let (la, lb, lc) = (m.literal(a, true), m.literal(b, true), m.literal(c, true));
+        (m, la, lb, lc)
+    }
+
+    #[test]
+    fn connectives_agree_with_truth_tables() {
+        let (mut m, a, b, _) = setup();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            let assign = [va, vb, false];
+            let and = m.and(a, b).unwrap();
+            let or = m.or(a, b).unwrap();
+            let xor = m.xor(a, b).unwrap();
+            let xnor = m.xnor(a, b).unwrap();
+            let imp = m.implies(a, b).unwrap();
+            assert_eq!(m.eval(and, &assign), va && vb);
+            assert_eq!(m.eval(or, &assign), va || vb);
+            assert_eq!(m.eval(xor, &assign), va ^ vb);
+            assert_eq!(m.eval(xnor, &assign), va == vb);
+            assert_eq!(m.eval(imp, &assign), !va || vb);
+        }
+    }
+
+    #[test]
+    fn de_morgan() {
+        let (mut m, a, b, _) = setup();
+        let and = m.and(a, b).unwrap();
+        let or_compl = m.or(a.complement(), b.complement()).unwrap();
+        assert_eq!(and.complement(), or_compl);
+    }
+
+    #[test]
+    fn xor_is_associative_and_commutative() {
+        let (mut m, a, b, c) = setup();
+        let ab = m.xor(a, b).unwrap();
+        let abc1 = m.xor(ab, c).unwrap();
+        let bc = m.xor(b, c).unwrap();
+        let abc2 = m.xor(a, bc).unwrap();
+        assert_eq!(abc1, abc2);
+        let ba = m.xor(b, a).unwrap();
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn ite_shannon_expansion() {
+        let (mut m, a, b, c) = setup();
+        let f = m.ite(a, b, c).unwrap();
+        assert!(m.eval(f, &[true, true, false]));
+        assert!(!m.eval(f, &[true, false, true]));
+        assert!(!m.eval(f, &[false, true, false]));
+        assert!(m.eval(f, &[false, false, true]));
+    }
+
+    #[test]
+    fn leq_detects_containment() {
+        let (mut m, a, b, _) = setup();
+        let ab = m.and(a, b).unwrap();
+        let aorb = m.or(a, b).unwrap();
+        assert!(m.leq(ab, a).unwrap());
+        assert!(m.leq(a, aorb).unwrap());
+        assert!(!m.leq(aorb, ab).unwrap());
+    }
+
+    #[test]
+    fn complement_edges_shared_structure() {
+        // f and !f must share every node (complement edges!).
+        let (mut m, a, b, c) = setup();
+        let ab = m.and(a, b).unwrap();
+        let f = m.or(ab, c).unwrap();
+        let before = m.arena_size();
+        let _nf = f.complement();
+        assert_eq!(m.arena_size(), before);
+    }
+
+    #[test]
+    fn cache_hit_on_symmetric_calls() {
+        let (mut m, a, b, _) = setup();
+        let x = m.and(a, b).unwrap();
+        let y = m.and(b, a).unwrap();
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for BDD operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors reported by BDD operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BddError {
+    /// The manager's configured node limit was exceeded while building a
+    /// result. Callers (e.g. `eliminate` in `bds-network`) use this as a
+    /// back-pressure signal to reject an over-eager collapse.
+    NodeLimit {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A variable handle did not belong to the manager it was used with.
+    UnknownVar {
+        /// Raw index of the offending variable.
+        var: usize,
+        /// Number of variables in the manager.
+        var_count: usize,
+    },
+    /// A transfer/reorder variable map was incomplete or inconsistent.
+    BadVarMap {
+        /// Human-readable description of the inconsistency.
+        detail: String,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit } => {
+                write!(f, "bdd node limit of {limit} exceeded")
+            }
+            BddError::UnknownVar { var, var_count } => {
+                write!(f, "variable v{var} is not one of the {var_count} manager variables")
+            }
+            BddError::BadVarMap { detail } => write!(f, "invalid variable map: {detail}"),
+        }
+    }
+}
+
+impl Error for BddError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = BddError::NodeLimit { limit: 10 };
+        assert_eq!(e.to_string(), "bdd node limit of 10 exceeded");
+        let e = BddError::UnknownVar { var: 3, var_count: 2 };
+        assert!(e.to_string().contains("v3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BddError>();
+    }
+}

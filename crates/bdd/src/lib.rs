@@ -1,0 +1,84 @@
+//! Reduced ordered binary decision diagrams with complement edges.
+//!
+//! This crate is the foundational substrate of the BDS reproduction: a
+//! self-contained ROBDD package in the style of Brace–Rudell–Bryant
+//! (`Efficient implementation of a BDD package`, DAC 1990), providing
+//! everything the decomposition engine in the `bds` crate needs:
+//!
+//! * canonical ROBDDs with **complement edges** (only the else/0-edge may be
+//!   complemented, matching the convention in the BDS paper §II-A),
+//! * the `ITE` operator with a computed table, plus the derived Boolean
+//!   connectives ([`Manager::and`], [`Manager::or`], [`Manager::xor`], …),
+//! * cofactors, variable composition and existential/universal
+//!   quantification,
+//! * the **Coudert–Madre `restrict`** operator used by BDS for
+//!   don't-care minimization during Boolean division (paper §III-B),
+//! * Minato–Morreale **ISOP** extraction (irredundant sum-of-products) used
+//!   when factoring-tree leaves are emitted as network nodes,
+//! * structural queries (node counts, support, path counts, satisfy counts)
+//!   that the dominator/cut analyses of the decomposition engine build on,
+//! * **cross-manager transfer** — the paper's "BDD mapping" / `bddPool`
+//!   mechanism (§IV-B) that re-homes BDDs into a fresh manager with a
+//!   compacted variable range,
+//! * **variable reordering** by rebuild-based sifting (§IV-C subjects every
+//!   BDD to reordering before decomposition),
+//! * DOT export for debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use bds_bdd::Manager;
+//!
+//! # fn main() -> Result<(), bds_bdd::BddError> {
+//! let mut m = Manager::new();
+//! let a = m.new_var("a");
+//! let b = m.new_var("b");
+//! let fa = m.literal(a, true);
+//! let fb = m.literal(b, true);
+//! let f = m.and(fa, fb)?;        // f = a · b
+//! let g = m.or(fa, fb)?;         // g = a + b
+//! assert_ne!(f, g);
+//! assert_eq!(m.and(f, g)?, f);   // absorption: (a·b)(a+b) = a·b
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Design notes
+//!
+//! Nodes live in a per-[`Manager`] arena and are identified by compact
+//! 32-bit [`Edge`]s carrying a complement bit. The canonical-form invariants
+//! are:
+//!
+//! 1. no node has identical then/else children,
+//! 2. the then-edge (1-edge) is never complemented,
+//! 3. structurally identical nodes are unique (hash-consed).
+//!
+//! There is deliberately **no garbage collector**: BDS-style synthesis works
+//! on many short-lived *local* BDDs, and the paper's own answer to manager
+//! pollution is to rebuild into a fresh manager ("BDD mapping", §IV-B),
+//! which [`transfer::transfer`] implements directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod apply;
+mod cofactor;
+mod count;
+mod cube;
+mod dot;
+mod edge;
+mod error;
+mod isop;
+mod manager;
+mod restrict;
+mod satisfy;
+pub mod reorder;
+pub mod transfer;
+
+pub use cube::Cube;
+pub use edge::{Edge, Var};
+pub use error::BddError;
+pub use manager::Manager;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, BddError>;

@@ -1,0 +1,13 @@
+//! Core BDS decomposition engine (modules assembled incrementally).
+#![forbid(unsafe_code)]
+pub mod decompose;
+pub mod dominators;
+pub mod factor_tree;
+pub mod flow;
+pub mod gendom;
+pub mod lifted;
+pub mod mux;
+pub mod sdc;
+pub mod sharing;
+pub mod sis_flow;
+pub mod xor_decomp;

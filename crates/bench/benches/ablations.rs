@@ -1,0 +1,71 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! decomposition-method priority, XNOR detection on/off, and dominator
+//! balancing. Runtime is measured here; the `ablation` binary reports
+//! the quality side (literals/gates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bds::decompose::{DecomposeParams, Decomposer, Method};
+use bds::factor_tree::FactorForest;
+use bds_bdd::{Edge, Manager};
+
+/// A mixed AND/XOR function that exercises every decomposition method.
+fn mixed_function(n: usize) -> (Manager, Edge) {
+    let mut m = Manager::new();
+    let vars = m.new_vars(2 * n);
+    let mut f = Edge::ZERO;
+    for i in 0..n {
+        let la = m.literal(vars[2 * i], true);
+        let lb = m.literal(vars[2 * i + 1], true);
+        let t = if i % 2 == 0 {
+            m.and(la, lb).expect("unlimited")
+        } else {
+            m.xor(la, lb).expect("unlimited")
+        };
+        f = if i % 3 == 0 {
+            m.or(f, t).expect("unlimited")
+        } else {
+            m.xor(f, t).expect("unlimited")
+        };
+    }
+    (m, f)
+}
+
+fn params_variants() -> Vec<(&'static str, DecomposeParams)> {
+    let base = DecomposeParams::default();
+    let mut no_xnor = base.clone();
+    no_xnor.priority = vec![
+        Method::SimpleDominators,
+        Method::FunctionalMux,
+        Method::GeneralizedDominator,
+    ];
+    let mut reversed = base.clone();
+    reversed.priority.reverse();
+    let mut unbalanced = base.clone();
+    unbalanced.balance_dominators = false;
+    vec![
+        ("paper_priority", base),
+        ("no_xnor", no_xnor),
+        ("reversed_priority", reversed),
+        ("deepest_dominator", unbalanced),
+    ]
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_decompose");
+    group.sample_size(10);
+    for (name, params) in params_variants() {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, params| {
+            b.iter(|| {
+                let (mut m, f) = mixed_function(6);
+                let mut forest = FactorForest::new();
+                let mut dec = Decomposer::new();
+                let root = dec.decompose(&mut m, f, &mut forest, params).expect("ok");
+                std::hint::black_box(forest.literal_count(root));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! CPU-scaling series — the trend behind Table II rendered as data: one
+//! CSV row per circuit size with both flows' runtimes, ready for
+//! plotting. This is the closest thing the paper has to a results
+//! "figure" (its figures are all worked examples), so the reproduction
+//! ships the series explicitly.
+//!
+//! Usage: `cargo run -p bds-bench --release --bin scaling [> scaling.csv]`
+//! Env: `BDS_SCALING_MAX_NODES` (default 2000) bounds the sweep.
+
+use std::time::Instant;
+
+use bds::flow::{optimize, FlowParams};
+use bds::sis_flow::{script_rugged, SisParams};
+use bds_circuits::adder::ripple_adder;
+use bds_circuits::multiplier::multiplier;
+use bds_circuits::shifter::barrel_shifter;
+use bds_network::Network;
+
+fn time_flows(net: &Network) -> (f64, f64) {
+    let t0 = Instant::now();
+    let _ = script_rugged(net, &SisParams::default()).expect("baseline");
+    let sis = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let _ = optimize(net, &FlowParams::default()).expect("bds");
+    let bds = t1.elapsed().as_secs_f64();
+    (sis, bds)
+}
+
+type Family = (&'static str, Box<dyn Fn(usize) -> Network>, Vec<usize>);
+
+fn main() {
+    let max_nodes: usize = std::env::var("BDS_SCALING_MAX_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    println!("family,size,nodes,sis_cpu_s,bds_cpu_s,speedup");
+    let mut families: Vec<Family> = vec![
+        ("bshift", Box::new(barrel_shifter), vec![8, 16, 32, 64, 128]),
+        ("mult", Box::new(|n| multiplier(n, n)), vec![2, 4, 8, 12, 16]),
+        ("adder", Box::new(ripple_adder), vec![8, 16, 32, 64, 128]),
+    ];
+    for (name, gen, sizes) in families.iter_mut() {
+        for &size in sizes.iter() {
+            let net = gen(size);
+            let nodes = net.stats().nodes;
+            if nodes > max_nodes {
+                eprintln!("skipping {name}{size} ({nodes} nodes > cap)");
+                continue;
+            }
+            let (sis, bds) = time_flows(&net);
+            println!(
+                "{name},{size},{nodes},{sis:.4},{bds:.4},{:.2}",
+                sis / bds.max(1e-9)
+            );
+        }
+    }
+}

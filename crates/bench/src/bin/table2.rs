@@ -1,0 +1,50 @@
+//! Regenerates **Table II** of the paper: large arithmetic circuits —
+//! barrel shifters `bshiftN` and array multipliers `mNxN` — comparing
+//! gates/area/delay/CPU and the BDS-over-SIS speedup, which must grow
+//! with circuit size (8× → 100×+ in the paper).
+//!
+//! Usage: `cargo run -p bds-bench --release --bin table2`
+//! Environment:
+//! * `BDS_TABLE2_SHIFT_MAX` (default 64) — largest barrel shifter width,
+//! * `BDS_TABLE2_MULT_MAX` (default 8) — largest multiplier operand width.
+//!   The paper's full sizes (512 / 64×64) work but take correspondingly
+//!   longer, dominated by the baseline — exactly the paper's point.
+
+use bds::flow::FlowParams;
+use bds::sis_flow::SisParams;
+use bds_bench::harness::{print_rows, run_both, Row};
+use bds_circuits::multiplier::multiplier;
+use bds_circuits::shifter::barrel_shifter;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn main() {
+    let shift_max = env_usize("BDS_TABLE2_SHIFT_MAX", 128);
+    let mult_max = env_usize("BDS_TABLE2_MULT_MAX", 16);
+    let flow = FlowParams::default();
+    let sis = SisParams::default();
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut w = 16;
+    while w <= shift_max {
+        let net = barrel_shifter(w);
+        eprintln!("bshift{w} ({} nodes)…", net.stats().nodes);
+        rows.push(run_both(format!("bshift{w}"), "-", &net, &flow, &sis));
+        w *= 2;
+    }
+    let mut n = 2;
+    while n <= mult_max {
+        let net = multiplier(n, n);
+        eprintln!("m{n}x{n} ({} nodes)…", net.stats().nodes);
+        rows.push(run_both(format!("m{n}x{n}"), "-", &net, &flow, &sis));
+        n *= 2;
+    }
+    print_rows("Table II reproduction — large arithmetic circuits", &rows);
+    println!();
+    println!("speedup trend (paper: grows with size, avg >100x at full scale):");
+    for r in &rows {
+        println!("  {:<10} speedup {:>8.1}x", r.name, r.speedup);
+    }
+}

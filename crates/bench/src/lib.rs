@@ -1,0 +1,5 @@
+//! Shared helpers for the benchmark harnesses (see `src/bin/*` and
+//! `benches/*`). The real content of this crate lives in its binaries;
+//! this library only hosts utilities they share.
+#![forbid(unsafe_code)]
+pub mod harness;

@@ -1,0 +1,110 @@
+//! Adders (XOR-intensive arithmetic class).
+
+use bds_network::Network;
+
+use crate::builder::Builder;
+
+/// An `n`-bit ripple-carry adder: inputs `a0..`, `b0..`, `cin`; outputs
+/// `s0..`, `cout`.
+pub fn ripple_adder(bits: usize) -> Network {
+    let mut b = Builder::new(format!("add{bits}"));
+    let a = b.inputs("a", bits);
+    let bb = b.inputs("b", bits);
+    let mut carry = b.input("cin");
+    for i in 0..bits {
+        let (s, c) = b.full_adder(a[i], bb[i], carry);
+        b.output(format!("s{i}"), s);
+        carry = c;
+    }
+    b.output("cout", carry);
+    b.finish()
+}
+
+/// An `n`-bit carry-select adder with blocks of `block` bits: each block
+/// is computed for both carry values and selected by the incoming carry —
+/// the classic area-for-delay trade.
+///
+/// # Panics
+/// Panics if `block == 0`.
+pub fn carry_select_adder(bits: usize, block: usize) -> Network {
+    assert!(block > 0, "block size must be positive");
+    let mut b = Builder::new(format!("csel{bits}x{block}"));
+    let a = b.inputs("a", bits);
+    let bb = b.inputs("b", bits);
+    let mut carry = b.input("cin");
+    let mut i = 0;
+    while i < bits {
+        let hi = (i + block).min(bits);
+        // Two speculative ripple chains.
+        let zero = b.constant(false);
+        let one = b.constant(true);
+        let mut c0 = zero;
+        let mut c1 = one;
+        let mut sums0 = Vec::new();
+        let mut sums1 = Vec::new();
+        for j in i..hi {
+            let (s0, n0) = b.full_adder(a[j], bb[j], c0);
+            let (s1, n1) = b.full_adder(a[j], bb[j], c1);
+            sums0.push(s0);
+            sums1.push(s1);
+            c0 = n0;
+            c1 = n1;
+        }
+        for (k, j) in (i..hi).enumerate() {
+            let s = b.mux2(carry, sums1[k], sums0[k]);
+            b.output(format!("s{j}"), s);
+        }
+        carry = b.mux2(carry, c1, c0);
+        i = hi;
+    }
+    b.output("cout", carry);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_adder(net: &Network, bits: usize) {
+        let max = 1u64 << bits;
+        // Exhaustive for small sizes, strided for larger.
+        let step = if bits <= 4 { 1 } else { (max / 16).max(1) + 1 };
+        for av in (0..max).step_by(step as usize) {
+            for bv in (0..max).step_by(step as usize) {
+                for cin in [false, true] {
+                    let mut inputs = Vec::new();
+                    for i in 0..bits {
+                        inputs.push(av >> i & 1 == 1);
+                    }
+                    for i in 0..bits {
+                        inputs.push(bv >> i & 1 == 1);
+                    }
+                    inputs.push(cin);
+                    let out = net.eval(&inputs).unwrap();
+                    let want = av + bv + cin as u64;
+                    for (i, &bit) in out.iter().take(bits).enumerate() {
+                        assert_eq!(bit, want >> i & 1 == 1, "sum bit {i} for {av}+{bv}+{cin}");
+                    }
+                    assert_eq!(out[bits], want >> bits & 1 == 1, "carry for {av}+{bv}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ripple_adds_correctly() {
+        check_adder(&ripple_adder(4), 4);
+    }
+
+    #[test]
+    fn carry_select_adds_correctly() {
+        check_adder(&carry_select_adder(6, 2), 6);
+    }
+
+    #[test]
+    fn carry_select_uses_more_area() {
+        let r = ripple_adder(8).stats();
+        let c = carry_select_adder(8, 2).stats();
+        assert!(c.nodes > r.nodes, "speculation costs nodes: {c:?} vs {r:?}");
+    }
+}

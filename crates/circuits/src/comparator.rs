@@ -1,0 +1,52 @@
+//! Wide comparators (mixed XNOR/AND structure).
+
+use bds_network::Network;
+
+use crate::builder::Builder;
+
+/// An `n`-bit comparator: inputs `a0..`, `b0..`; outputs `eq` (a = b)
+/// and `lt` (a < b, unsigned).
+pub fn comparator(bits: usize) -> Network {
+    let mut b = Builder::new(format!("cmp{bits}"));
+    let a = b.inputs("a", bits);
+    let bb = b.inputs("b", bits);
+    // eq = AND of per-bit XNORs.
+    let xnors: Vec<_> = (0..bits).map(|i| b.xnor2(a[i], bb[i])).collect();
+    let eq = b.and_n(&xnors);
+    // lt: scan from MSB: lt_i = (āᵢ·bᵢ) + eqᵢ·lt_{i-1}.
+    let mut lt = b.constant(false);
+    for i in 0..bits {
+        let na = b.not(a[i]);
+        let here = b.and2(na, bb[i]);
+        let keep = b.and2(xnors[i], lt);
+        lt = b.or2(here, keep);
+    }
+    b.output("eq", eq);
+    b.output("lt", lt);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_semantics() {
+        let bits = 4;
+        let net = comparator(bits);
+        for av in 0..16u64 {
+            for bv in 0..16u64 {
+                let mut inputs = Vec::new();
+                for i in 0..bits {
+                    inputs.push(av >> i & 1 == 1);
+                }
+                for i in 0..bits {
+                    inputs.push(bv >> i & 1 == 1);
+                }
+                let out = net.eval(&inputs).unwrap();
+                assert_eq!(out[0], av == bv, "eq({av},{bv})");
+                assert_eq!(out[1], av < bv, "lt({av},{bv})");
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Parity / XOR trees (the purest XOR-intensive class).
+
+use bds_network::Network;
+
+use crate::builder::Builder;
+
+/// An `n`-input parity tree: output `p = d0 ⊕ … ⊕ d{n-1}`.
+pub fn parity_tree(n: usize) -> Network {
+    let mut b = Builder::new(format!("parity{n}"));
+    let d = b.inputs("d", n);
+    let p = b.xor_n(&d);
+    b.output("p", p);
+    b.finish()
+}
+
+/// An `n`-input parity *chain* (linear instead of balanced) — same
+/// function, worst-case depth; useful for delay ablations.
+pub fn parity_chain(n: usize) -> Network {
+    let mut b = Builder::new(format!("paritychain{n}"));
+    let d = b.inputs("d", n);
+    let mut acc = d[0];
+    for &x in &d[1..] {
+        acc = b.xor2(acc, x);
+    }
+    b.output("p", acc);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_and_chain_agree() {
+        let t = parity_tree(7);
+        let c = parity_chain(7);
+        for bits in 0..128u32 {
+            let inputs: Vec<bool> = (0..7).map(|i| bits >> i & 1 == 1).collect();
+            let want = inputs.iter().filter(|&&v| v).count() % 2 == 1;
+            assert_eq!(t.eval(&inputs).unwrap()[0], want);
+            assert_eq!(c.eval(&inputs).unwrap()[0], want);
+        }
+    }
+
+    #[test]
+    fn tree_is_shallower() {
+        let t = parity_tree(16).stats();
+        let c = parity_chain(16).stats();
+        assert!(t.depth < c.depth, "balanced tree beats chain: {t:?} vs {c:?}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Graphviz DOT export for networks — handy when debugging flows and for
+//! documentation figures.
+
+use std::fmt::Write as _;
+
+use crate::network::Network;
+
+impl Network {
+    /// Renders the network as a Graphviz digraph: inputs as diamonds,
+    /// nodes as boxes labelled `name [lits]`, outputs double-circled.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph network {\n  rankdir=LR;\n");
+        for sig in self.signals() {
+            let name = self.signal_name(sig);
+            match self.node(sig) {
+                None => {
+                    let _ = writeln!(out, "  \"{name}\" [shape=diamond];");
+                }
+                Some((fanins, cover)) => {
+                    let shape = if self.outputs().contains(&sig) {
+                        "doublecircle"
+                    } else {
+                        "box"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  \"{name}\" [shape={shape},label=\"{name}\\n{} cubes / {} lits\"];",
+                        cover.len(),
+                        cover.literal_count()
+                    );
+                    for &f in fanins {
+                        let _ = writeln!(out, "  \"{}\" -> \"{name}\";", self.signal_name(f));
+                    }
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_sop::{Cover, Cube};
+
+    #[test]
+    fn dot_renders_structure() {
+        let mut n = Network::new("d");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let f = n
+            .add_node(
+                "f",
+                vec![a, b],
+                Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])]),
+            )
+            .unwrap();
+        n.mark_output(f).unwrap();
+        let dot = n.to_dot();
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("\"a\" -> \"f\""));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for network operations.
+
+use std::error::Error;
+use std::fmt;
+
+use bds_bdd::BddError;
+
+/// Errors reported by Boolean-network operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetworkError {
+    /// A signal name was declared twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A referenced signal does not exist.
+    UnknownSignal {
+        /// The missing name or id rendering.
+        name: String,
+    },
+    /// Adding a node would create a combinational cycle.
+    Cycle {
+        /// The node whose fanin closes the cycle.
+        name: String,
+    },
+    /// A structural operation found the network inconsistent.
+    Inconsistent {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// BLIF syntax error.
+    Blif {
+        /// Line number (1-based).
+        line: usize,
+        /// Description.
+        detail: String,
+    },
+    /// An assignment vector did not match the input count.
+    BadAssignment {
+        /// Inputs expected.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+    /// An underlying BDD operation failed (usually a node limit during
+    /// global-BDD construction or an over-eager collapse).
+    Bdd(BddError),
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::DuplicateName { name } => write!(f, "signal `{name}` already exists"),
+            NetworkError::UnknownSignal { name } => write!(f, "unknown signal `{name}`"),
+            NetworkError::Cycle { name } => {
+                write!(f, "adding node `{name}` would create a combinational cycle")
+            }
+            NetworkError::Inconsistent { detail } => write!(f, "inconsistent network: {detail}"),
+            NetworkError::Blif { line, detail } => write!(f, "blif parse error at line {line}: {detail}"),
+            NetworkError::BadAssignment { expected, got } => {
+                write!(f, "assignment provides {got} values for {expected} inputs")
+            }
+            NetworkError::Bdd(e) => write!(f, "bdd failure: {e}"),
+        }
+    }
+}
+
+impl Error for NetworkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetworkError::Bdd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BddError> for NetworkError {
+    fn from(e: BddError) -> Self {
+        NetworkError::Bdd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = NetworkError::UnknownSignal { name: "q".into() };
+        assert_eq!(e.to_string(), "unknown signal `q`");
+        let e = NetworkError::Bdd(BddError::NodeLimit { limit: 5 });
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! Network statistics.
+
+use std::fmt;
+
+use crate::network::Network;
+
+/// Summary statistics of a network — the quantities the paper's tables
+/// report per circuit (node/gate counts, literals, logic depth).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub struct NetworkStats {
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Internal nodes.
+    pub nodes: usize,
+    /// Total SOP literals over all nodes (the SIS cost function).
+    pub literals: usize,
+    /// Total cubes over all nodes.
+    pub cubes: usize,
+    /// Longest input→output path measured in nodes.
+    pub depth: usize,
+}
+
+impl Network {
+    /// Computes [`NetworkStats`] for the logic reachable from the outputs.
+    pub fn stats(&self) -> NetworkStats {
+        let net = self.compacted();
+        let mut literals = 0;
+        let mut cubes = 0;
+        let mut level = vec![0usize; net.signals().count()];
+        let mut depth = 0;
+        for sig in net.topo_order() {
+            if let Some((fanins, cover)) = net.node(sig) {
+                literals += cover.literal_count();
+                cubes += cover.len();
+                let l = fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0) + 1;
+                level[sig.index()] = l;
+                depth = depth.max(l);
+            }
+        }
+        NetworkStats {
+            inputs: net.inputs().len(),
+            outputs: net.outputs().len(),
+            nodes: net.node_count(),
+            literals,
+            cubes,
+            depth,
+        }
+    }
+}
+
+impl fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pi={} po={} nodes={} lits={} cubes={} depth={}",
+            self.inputs, self.outputs, self.nodes, self.literals, self.cubes, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_sop::{Cover, Cube};
+
+    #[test]
+    fn stats_count_reachable_logic_only() {
+        let mut n = Network::new("t");
+        let a = n.add_input("a").unwrap();
+        let b = n.add_input("b").unwrap();
+        let and = Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])]);
+        let g = n.add_node("g", vec![a, b], and.clone()).unwrap();
+        let f = n.add_node("f", vec![g, a], and.clone()).unwrap();
+        let _dead = n.add_node("dead", vec![a, b], and).unwrap();
+        n.mark_output(f).unwrap();
+        let s = n.stats();
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.literals, 4);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.inputs, 2);
+        assert_eq!(s.outputs, 1);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Cross-module network tests: BLIF pipelines, eliminate cost models,
+//! verification on structurally divergent implementations.
+
+use bds_network::verify::{verify, verify_by_simulation, Verdict};
+use bds_network::{blif, EliminateCost, EliminateParams, Network};
+use bds_sop::{Cover, Cube};
+
+fn xor2() -> Cover {
+    Cover::from_cubes(vec![
+        Cube::parse(&[(0, true), (1, false)]),
+        Cube::parse(&[(0, false), (1, true)]),
+    ])
+}
+
+fn and2() -> Cover {
+    Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])])
+}
+
+/// Builds a 4-bit ripple parity+and mix used by several tests.
+fn mixed_network() -> Network {
+    let mut n = Network::new("mix");
+    let ins: Vec<_> = (0..6).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+    let x1 = n.add_node("x1", vec![ins[0], ins[1]], xor2()).unwrap();
+    let x2 = n.add_node("x2", vec![x1, ins[2]], xor2()).unwrap();
+    let a1 = n.add_node("a1", vec![ins[3], ins[4]], and2()).unwrap();
+    let a2 = n.add_node("a2", vec![a1, ins[5]], and2()).unwrap();
+    let top = n.add_node("top", vec![x2, a2], xor2()).unwrap();
+    n.mark_output(top).unwrap();
+    n
+}
+
+#[test]
+fn eliminate_literal_cost_model_collapses_ands() {
+    let mut n = mixed_network();
+    let before: Vec<bool> =
+        (0..64).map(|b| n.eval(&bits(b, 6)).unwrap()[0]).collect();
+    let params = EliminateParams {
+        cost: EliminateCost::Literals,
+        growth_allowance: 2,
+        ..EliminateParams::default()
+    };
+    let eliminated = n.eliminate(&params);
+    assert!(eliminated > 0, "AND chain should collapse under literal cost");
+    for b in 0..64u32 {
+        assert_eq!(n.eval(&bits(b, 6)).unwrap()[0], before[b as usize]);
+    }
+}
+
+#[test]
+fn eliminate_bdd_cost_model_is_function_preserving() {
+    let mut n = mixed_network();
+    let before: Vec<bool> =
+        (0..64).map(|b| n.eval(&bits(b, 6)).unwrap()[0]).collect();
+    n.eliminate(&EliminateParams::default());
+    n.sweep();
+    for b in 0..64u32 {
+        assert_eq!(n.eval(&bits(b, 6)).unwrap()[0], before[b as usize]);
+    }
+}
+
+fn bits(v: u32, n: usize) -> Vec<bool> {
+    (0..n).map(|i| v >> i & 1 == 1).collect()
+}
+
+#[test]
+fn blif_pipeline_with_sweep_and_eliminate() {
+    let n = mixed_network();
+    let text = blif::write(&n);
+    let mut parsed = blif::parse(&text).unwrap();
+    parsed.sweep();
+    parsed.eliminate(&EliminateParams::default());
+    let parsed = parsed.compacted();
+    assert_eq!(verify(&n, &parsed, 1_000_000).unwrap(), Verdict::Equivalent);
+}
+
+#[test]
+fn verify_distinguishes_subtle_difference() {
+    // Two implementations differing only on one minterm.
+    let mut a = Network::new("a");
+    let ia: Vec<_> = (0..3).map(|i| a.add_input(format!("i{i}")).unwrap()).collect();
+    let maj = Cover::from_cubes(vec![
+        Cube::parse(&[(0, true), (1, true)]),
+        Cube::parse(&[(0, true), (2, true)]),
+        Cube::parse(&[(1, true), (2, true)]),
+    ]);
+    let fa = a.add_node("f", ia.clone(), maj.clone()).unwrap();
+    a.mark_output(fa).unwrap();
+
+    let mut b = Network::new("b");
+    let ib: Vec<_> = (0..3).map(|i| b.add_input(format!("i{i}")).unwrap()).collect();
+    // Majority plus the all-zeros minterm.
+    let mut tweaked = maj;
+    tweaked.push(Cube::parse(&[(0, false), (1, false), (2, false)]));
+    tweaked.dedup();
+    let fb = b.add_node("f", ib, tweaked).unwrap();
+    b.mark_output(fb).unwrap();
+
+    assert!(matches!(
+        verify(&a, &b, 100_000).unwrap(),
+        Verdict::Inequivalent { .. }
+    ));
+    // Simulation may need a few rounds but must eventually hit 000.
+    assert!(matches!(
+        verify_by_simulation(&a, &b, 512, 3).unwrap(),
+        Verdict::Inequivalent { .. }
+    ));
+}
+
+#[test]
+fn inputs_as_outputs_round_trip() {
+    // BLIF allows a primary input to be listed as an output via a buffer.
+    let mut n = Network::new("pass");
+    let a = n.add_input("a").unwrap();
+    let buf = n
+        .add_node("a_out", vec![a], Cover::from_cubes(vec![Cube::lit(0, true)]))
+        .unwrap();
+    n.mark_output(buf).unwrap();
+    let text = blif::write(&n);
+    let parsed = blif::parse(&text).unwrap();
+    assert_eq!(parsed.eval(&[true]).unwrap(), vec![true]);
+    assert_eq!(parsed.eval(&[false]).unwrap(), vec![false]);
+}
+
+#[test]
+fn sweep_then_verify_on_redundant_blif() {
+    // A BLIF with duplicated and constant-feeding logic sweeps down to
+    // something small but equivalent.
+    let text = "\
+.model redundant
+.inputs a b
+.outputs f
+.names k1
+1
+.names a b t1
+11 1
+.names a b t2
+11 1
+.names t1 k1 u1
+11 1
+.names t2 u1 f
+1- 1
+-1 1
+.end
+";
+    let original = blif::parse(text).unwrap();
+    let mut swept = blif::parse(text).unwrap();
+    let changes = swept.sweep();
+    assert!(changes > 0);
+    let swept = swept.compacted();
+    assert!(swept.node_count() < original.compacted().node_count());
+    assert_eq!(verify(&original, &swept, 100_000).unwrap(), Verdict::Equivalent);
+}
+
+#[test]
+fn stats_track_depth_through_eliminate() {
+    let mut n = mixed_network();
+    let before = n.stats();
+    n.eliminate(&EliminateParams::default());
+    n.sweep();
+    let after = n.stats();
+    assert!(after.depth <= before.depth, "collapsing cannot deepen the network");
+    assert!(after.nodes <= before.nodes);
+}

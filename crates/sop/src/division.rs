@@ -1,0 +1,134 @@
+//! Algebraic (weak) division of covers.
+//!
+//! `divide(f, d)` finds covers `q`, `r` with `f = q·d + r` where the
+//! product `q·d` is *algebraic* (no variable of `q` appears in `d`).
+//! This is the classic Brayton–McMullen weak-division algorithm driving
+//! resubstitution and factoring in SIS-style synthesis.
+
+use std::collections::BTreeSet;
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+
+/// Result of a weak division `f = quotient·divisor + remainder`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Division {
+    /// The quotient cover (empty when the division is trivial).
+    pub quotient: Cover,
+    /// The remainder cover.
+    pub remainder: Cover,
+}
+
+/// Weak-divides `f` by the cube `d`.
+pub fn divide_by_cube(f: &Cover, d: &Cube) -> Division {
+    let mut quotient = Vec::new();
+    let mut remainder = Vec::new();
+    for c in f.cubes() {
+        match c.quotient(d) {
+            Some(q) => quotient.push(q),
+            None => remainder.push(c.clone()),
+        }
+    }
+    Division { quotient: Cover::from_cubes(quotient), remainder: Cover::from_cubes(remainder) }
+}
+
+/// Weak-divides `f` by the multi-cube divisor `d`.
+///
+/// Returns a division with an empty quotient when `d` does not divide `f`
+/// (including when `d` is the zero cover).
+pub fn divide(f: &Cover, d: &Cover) -> Division {
+    if d.is_empty() {
+        return Division { quotient: Cover::zero(), remainder: f.clone() };
+    }
+    if d.has_unit_cube() {
+        // Dividing by a cover containing the constant-true cube is
+        // algebraically trivial: f = f·1 + 0.
+        return Division { quotient: f.clone(), remainder: Cover::zero() };
+    }
+    // Quotient = ∩ over divisor cubes of (f / d_i).
+    let mut quotient: Option<BTreeSet<Cube>> = None;
+    for dc in d.cubes() {
+        let qi: BTreeSet<Cube> =
+            divide_by_cube(f, dc).quotient.cubes().iter().cloned().collect();
+        quotient = Some(match quotient {
+            None => qi,
+            Some(acc) => acc.intersection(&qi).cloned().collect(),
+        });
+        if quotient.as_ref().is_some_and(BTreeSet::is_empty) {
+            break;
+        }
+    }
+    let quotient = Cover::from_cubes(quotient.unwrap_or_default().into_iter().collect());
+    if quotient.is_empty() {
+        return Division { quotient, remainder: f.clone() };
+    }
+    // Remainder = f − quotient·d (as cube sets).
+    let product = quotient.and(d);
+    let product_set: BTreeSet<&Cube> = product.cubes().iter().collect();
+    let remainder =
+        Cover::from_cubes(f.cubes().iter().filter(|c| !product_set.contains(c)).cloned().collect());
+    Division { quotient, remainder }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(lits: &[(u32, bool)]) -> Cube {
+        Cube::parse(lits)
+    }
+
+    #[test]
+    fn textbook_division() {
+        // f = a·c + a·d + b·c + b·d + e ; d = a + b
+        // ⇒ q = c + d, r = e.
+        let f = Cover::from_cubes(vec![
+            c(&[(0, true), (2, true)]),
+            c(&[(0, true), (3, true)]),
+            c(&[(1, true), (2, true)]),
+            c(&[(1, true), (3, true)]),
+            c(&[(4, true)]),
+        ]);
+        let d = Cover::from_cubes(vec![c(&[(0, true)]), c(&[(1, true)])]);
+        let div = divide(&f, &d);
+        assert_eq!(div.quotient, Cover::from_cubes(vec![c(&[(2, true)]), c(&[(3, true)])]));
+        assert_eq!(div.remainder, Cover::from_cubes(vec![c(&[(4, true)])]));
+        // Reconstruction: q·d + r == f as cube sets.
+        let rebuilt = div.quotient.and(&d).or(&div.remainder);
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn division_by_non_divisor() {
+        let f = Cover::from_cubes(vec![c(&[(0, true)])]);
+        let d = Cover::from_cubes(vec![c(&[(1, true)])]);
+        let div = divide(&f, &d);
+        assert!(div.quotient.is_empty());
+        assert_eq!(div.remainder, f);
+    }
+
+    #[test]
+    fn division_by_cube() {
+        // f = a·b·c + a·b·d + e ; cube a·b ⇒ q = c + d, r = e.
+        let f = Cover::from_cubes(vec![
+            c(&[(0, true), (1, true), (2, true)]),
+            c(&[(0, true), (1, true), (3, true)]),
+            c(&[(4, true)]),
+        ]);
+        let d = c(&[(0, true), (1, true)]);
+        let div = divide_by_cube(&f, &d);
+        assert_eq!(div.quotient.len(), 2);
+        assert_eq!(div.remainder.len(), 1);
+    }
+
+    #[test]
+    fn division_edge_cases() {
+        let f = Cover::from_cubes(vec![c(&[(0, true)])]);
+        let div = divide(&f, &Cover::zero());
+        assert!(div.quotient.is_empty());
+        assert_eq!(div.remainder, f);
+        let div = divide(&f, &Cover::one());
+        assert_eq!(div.quotient, f);
+        assert!(div.remainder.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! Recursive algebraic factoring ("good factor").
+//!
+//! Implements the classic `gfactor` recursion: pick the best kernel `k`,
+//! divide `f = q·k + r`, factor the parts recursively. Falls back to
+//! literal factoring (`lfactor`) when no kernel exists.
+
+use crate::cover::Cover;
+use crate::cube::Cube;
+use crate::division::{divide, divide_by_cube};
+use crate::expr::Expr;
+use crate::kernel::{common_cube, kernels};
+
+/// Factors `f` into an algebraic expression tree.
+///
+/// The expansion of the result is cube-for-cube equal to `f` (algebraic
+/// factoring never changes the cover, only regroups it).
+pub fn factor(f: &Cover) -> Expr {
+    // Algebraic factoring assumes an SCC-minimal cover; redundant cubes
+    // (e.g. `a + a·b`) would otherwise produce degenerate kernels.
+    let f = &f.scc_minimal();
+    if f.is_empty() {
+        return Expr::Const(false);
+    }
+    if f.has_unit_cube() {
+        return Expr::Const(true);
+    }
+    if f.len() == 1 {
+        return Expr::from_cube(&f.cubes()[0]);
+    }
+    // Pull out the common cube first: f = cc · f'.
+    let cc = common_cube(f);
+    if !cc.is_empty() {
+        let quotient = divide_by_cube(f, &cc).quotient;
+        let inner = factor(&quotient);
+        return Expr::And(vec![Expr::from_cube(&cc), inner]).normalized();
+    }
+    // Choose the best kernel by the value of the factorization
+    // |q| + |k| + |r| literal estimate (smaller is better).
+    let ks = kernels(f);
+    let mut best: Option<(Cover, usize)> = None;
+    for k in &ks {
+        if k.kernel.len() < 2 || k.kernel == *f || k.kernel.has_unit_cube() {
+            continue;
+        }
+        let d = divide(f, &k.kernel);
+        if d.quotient.is_empty() {
+            continue;
+        }
+        let value = d.quotient.literal_count()
+            + k.kernel.literal_count()
+            + d.remainder.literal_count();
+        if best.as_ref().is_none_or(|&(_, v)| value < v) {
+            best = Some((k.kernel.clone(), value));
+        }
+    }
+    match best {
+        Some((divisor, _)) => {
+            let d = divide(f, &divisor);
+            let qe = factor(&d.quotient);
+            let ke = factor(&divisor);
+            let re = factor(&d.remainder);
+            Expr::Or(vec![Expr::And(vec![qe, ke]), re]).normalized()
+        }
+        None => {
+            // No useful kernel: literal factoring on the most frequent
+            // literal, f = l·q + r.
+            match most_frequent_literal(f) {
+                Some((v, p)) if count_lit(f, v, p) >= 2 => {
+                    let lit_cube = Cube::lit(v, p);
+                    let d = divide_by_cube(f, &lit_cube);
+                    let qe = factor(&d.quotient);
+                    let re = factor(&d.remainder);
+                    Expr::Or(vec![Expr::And(vec![Expr::Lit(v, p), qe]), re]).normalized()
+                }
+                _ => Expr::from_cover(f),
+            }
+        }
+    }
+}
+
+fn count_lit(f: &Cover, var: u32, phase: bool) -> usize {
+    f.cubes().iter().filter(|c| c.has_lit(var, phase)).count()
+}
+
+fn most_frequent_literal(f: &Cover) -> Option<(u32, bool)> {
+    let mut best: Option<((u32, bool), usize)> = None;
+    for v in f.support() {
+        for p in [true, false] {
+            let n = count_lit(f, v, p);
+            if n > 0 && best.as_ref().is_none_or(|&(_, b)| n > b) {
+                best = Some(((v, p), n));
+            }
+        }
+    }
+    best.map(|(l, _)| l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(lits: &[(u32, bool)]) -> Cube {
+        Cube::parse(lits)
+    }
+
+    #[test]
+    fn factor_shared_product() {
+        // ab + ac + ad → a(b+c+d)
+        let f = Cover::from_cubes(vec![
+            c(&[(0, true), (1, true)]),
+            c(&[(0, true), (2, true)]),
+            c(&[(0, true), (3, true)]),
+        ]);
+        let e = factor(&f);
+        assert_eq!(e.literal_count(), 4);
+        assert_eq!(e.expand().simplify(), f.simplify());
+    }
+
+    #[test]
+    fn factor_two_sums() {
+        // (a+b)(c+d) + e: 5 literals factored vs 9 flat.
+        let f = Cover::from_cubes(vec![
+            c(&[(0, true), (2, true)]),
+            c(&[(0, true), (3, true)]),
+            c(&[(1, true), (2, true)]),
+            c(&[(1, true), (3, true)]),
+            c(&[(4, true)]),
+        ]);
+        assert_eq!(f.literal_count(), 9);
+        let e = factor(&f);
+        assert_eq!(e.literal_count(), 5);
+        // Semantic check on all assignments.
+        for bits in 0..32u32 {
+            let a: Vec<bool> = (0..5).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(e.eval(&a), f.eval(&a));
+        }
+    }
+
+    #[test]
+    fn factor_constants_and_single_cubes() {
+        assert_eq!(factor(&Cover::zero()), Expr::Const(false));
+        assert_eq!(factor(&Cover::one()), Expr::Const(true));
+        let f = Cover::from_cubes(vec![c(&[(0, true), (1, false)])]);
+        let e = factor(&f);
+        assert_eq!(e.literal_count(), 2);
+    }
+
+    #[test]
+    fn factoring_never_increases_literals() {
+        let f = Cover::from_cubes(vec![
+            c(&[(0, true), (1, true)]),
+            c(&[(0, false), (2, true)]),
+            c(&[(1, true), (2, true), (3, false)]),
+            c(&[(3, true)]),
+        ]);
+        let e = factor(&f);
+        assert!(e.literal_count() <= f.literal_count());
+        for bits in 0..16u32 {
+            let a: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(e.eval(&a), f.eval(&a));
+        }
+    }
+}

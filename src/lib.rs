@@ -1,0 +1,22 @@
+//! Umbrella crate for the BDS reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`bdd`] — the ROBDD package (complement edges, ITE, restrict,
+//!   reordering, transfer),
+//! * [`sop`] — cube/SOP algebra (kernels, algebraic division, factoring),
+//! * [`network`] — multi-level Boolean networks with BLIF I/O, sweep,
+//!   eliminate and equivalence checking,
+//! * [`core`] — the BDS decomposition engine and synthesis flows,
+//! * [`map`] — the tree-covering technology mapper,
+//! * [`circuits`] — benchmark circuit generators.
+//!
+//! See `README.md` for a tour and `examples/` for runnable entry points.
+
+pub use bds as core;
+pub use bds_bdd as bdd;
+pub use bds_circuits as circuits;
+pub use bds_map as map;
+pub use bds_network as network;
+pub use bds_sop as sop;

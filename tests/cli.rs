@@ -1,0 +1,113 @@
+//! End-to-end tests of the `bds_opt` command-line tool.
+
+use std::io::Write as _;
+use std::process::Command;
+
+const BLIF: &str = "\
+.model cli_test
+.inputs a b c d
+.outputs f g
+.names a b t1
+10 1
+01 1
+.names t1 c t2
+10 1
+01 1
+.names t2 d f
+11 1
+.names a b g
+11 1
+.end
+";
+
+fn write_input() -> std::path::PathBuf {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("bds_cli_test_{}.blif", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(BLIF.as_bytes()).expect("write");
+    path
+}
+
+fn bds_opt() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_bds_opt"))
+}
+
+#[test]
+fn optimizes_verifies_and_emits_blif() {
+    let input = write_input();
+    let out = bds_opt()
+        .arg("--verify")
+        .arg("--map")
+        .arg(&input)
+        .output()
+        .expect("bds_opt runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("equivalent"), "must verify: {stderr}");
+    assert!(stderr.contains("mapped:"), "must report mapping: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains(".model"), "must emit blif");
+    assert!(stdout.contains(".outputs f g"));
+    // The emitted BLIF must re-parse and still be the same function.
+    let reparsed = bds_repro::network::blif::parse(&stdout).expect("own output parses");
+    let original = bds_repro::network::blif::parse(BLIF).expect("test input parses");
+    assert_eq!(
+        bds_repro::network::verify::verify(&original, &reparsed, 100_000).unwrap(),
+        bds_repro::network::verify::Verdict::Equivalent
+    );
+    let _ = std::fs::remove_file(input);
+}
+
+#[test]
+fn sis_mode_and_luts() {
+    let input = write_input();
+    let out = bds_opt()
+        .arg("--sis")
+        .arg("--stats")
+        .arg("--luts")
+        .arg("4")
+        .arg(&input)
+        .output()
+        .expect("bds_opt runs");
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("baseline:"), "{stderr}");
+    assert!(stderr.contains("luts(k=4):"), "{stderr}");
+    assert!(out.stdout.is_empty(), "--stats suppresses blif output");
+    let _ = std::fs::remove_file(input);
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = bds_opt().arg("--frobnicate").output().expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+
+    let out = bds_opt().output().expect("runs");
+    assert!(!out.status.success(), "missing input file must fail");
+}
+
+#[test]
+fn missing_file_reports_error() {
+    let out = bds_opt().arg("/nonexistent/definitely_missing.blif").output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
+}
+
+#[test]
+fn output_file_flag_writes_file() {
+    let input = write_input();
+    let outpath = std::env::temp_dir().join(format!("bds_cli_out_{}.blif", std::process::id()));
+    let out = bds_opt()
+        .arg("-o")
+        .arg(&outpath)
+        .arg(&input)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let written = std::fs::read_to_string(&outpath).expect("output file written");
+    assert!(written.contains(".model"));
+    let _ = std::fs::remove_file(input);
+    let _ = std::fs::remove_file(outpath);
+}

@@ -1,0 +1,183 @@
+//! Property-based tests of the core invariants, using random function
+//! and network generators.
+
+use proptest::prelude::*;
+
+use bds_repro::bdd::{reorder, transfer, Edge, Manager};
+use bds_repro::core::decompose::{DecomposeParams, Decomposer};
+use bds_repro::core::factor_tree::FactorForest;
+use bds_repro::network::{blif, Network};
+use bds_repro::sop::{factor::factor, Cover, Cube};
+
+const NVARS: usize = 5;
+
+/// A random Boolean expression encoded as a sequence of (op, var, phase)
+/// instructions folded left-to-right.
+fn expr_strategy() -> impl Strategy<Value = Vec<(u8, u8, bool)>> {
+    prop::collection::vec((0u8..4, 0u8..NVARS as u8, any::<bool>()), 1..12)
+}
+
+fn build_bdd(m: &mut Manager, vars: &[bds_repro::bdd::Var], prog: &[(u8, u8, bool)]) -> Edge {
+    let mut acc = Edge::ZERO;
+    for &(op, v, phase) in prog {
+        let lit = m.literal(vars[v as usize], phase);
+        acc = match op {
+            0 => m.and(acc, lit).expect("unlimited"),
+            1 => m.or(acc, lit).expect("unlimited"),
+            2 => m.xor(acc, lit).expect("unlimited"),
+            _ => m.ite(lit, acc, lit.complement()).expect("unlimited"),
+        };
+    }
+    acc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// restrict contract: restrict(f, c) · c == f · c.
+    #[test]
+    fn restrict_contract(fp in expr_strategy(), cp in expr_strategy()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build_bdd(&mut m, &vars, &fp);
+        let c = build_bdd(&mut m, &vars, &cp);
+        let r = m.restrict(f, c).expect("unlimited");
+        let rc = m.and(r, c).expect("unlimited");
+        let fc = m.and(f, c).expect("unlimited");
+        prop_assert_eq!(rc, fc);
+    }
+
+    /// ISOP exactness: isop(f, f) rebuilds f.
+    #[test]
+    fn isop_exact(fp in expr_strategy()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build_bdd(&mut m, &vars, &fp);
+        let (cubes, cover) = m.isop(f, f).expect("unlimited");
+        prop_assert_eq!(cover, f);
+        let rebuilt = m.sum_of_cubes(&cubes).expect("unlimited");
+        prop_assert_eq!(rebuilt, f);
+    }
+
+    /// Reordering by sifting preserves the function pointwise.
+    #[test]
+    fn sift_preserves_function(fp in expr_strategy()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build_bdd(&mut m, &vars, &fp);
+        let (m2, roots) =
+            reorder::sift(&m, &[f], reorder::SiftLimits::default()).expect("unlimited");
+        for bits in 0..1u32 << NVARS {
+            let assign: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(m.eval(f, &assign), m2.eval(roots[0], &assign));
+        }
+    }
+
+    /// Cross-manager transfer under the identity map preserves semantics.
+    #[test]
+    fn transfer_preserves_function(fp in expr_strategy()) {
+        let mut src = Manager::new();
+        let vars = src.new_vars(NVARS);
+        let f = build_bdd(&mut src, &vars, &fp);
+        let mut dst = Manager::new();
+        let dvars = dst.new_vars(NVARS);
+        let g = transfer::transfer(&src, &mut dst, f, &dvars).expect("unlimited");
+        for bits in 0..1u32 << NVARS {
+            let assign: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(src.eval(f, &assign), dst.eval(g, &assign));
+        }
+    }
+
+    /// Decomposition soundness: the factoring tree is pointwise equal to
+    /// the BDD it came from, for any function and any method priority.
+    #[test]
+    fn decompose_sound(fp in expr_strategy(), balance in any::<bool>()) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(NVARS);
+        let f = build_bdd(&mut m, &vars, &fp);
+        let mut forest = FactorForest::new();
+        let mut dec = Decomposer::new();
+        let params = DecomposeParams { balance_dominators: balance, ..Default::default() };
+        let root = dec.decompose(&mut m, f, &mut forest, &params).expect("unlimited");
+        for bits in 0..1u32 << NVARS {
+            let assign: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(m.eval(f, &assign), forest.eval(root, &assign));
+        }
+    }
+
+    /// Algebraic factoring preserves the function and never increases
+    /// literal count.
+    #[test]
+    fn factor_sound(cubes in prop::collection::vec(
+        prop::collection::vec((0u32..NVARS as u32, any::<bool>()), 1..4),
+        1..6,
+    )) {
+        let cover: Cover = cubes
+            .into_iter()
+            .filter_map(Cube::new)
+            .collect();
+        prop_assume!(!cover.is_empty());
+        let e = factor(&cover);
+        for bits in 0..1u32 << NVARS {
+            let assign: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(e.eval(&assign), cover.eval(&assign));
+        }
+        prop_assert!(e.literal_count() <= cover.literal_count());
+    }
+
+    /// sweep preserves network behaviour on random gate networks.
+    #[test]
+    fn sweep_preserves_network(fp in expr_strategy(), seed in 0u64..1000) {
+        let net = random_net(&fp, seed);
+        let mut swept = net.clone();
+        swept.sweep();
+        for bits in 0..1u32 << net.inputs().len() {
+            let assign: Vec<bool> =
+                (0..net.inputs().len()).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(net.eval(&assign).unwrap(), swept.eval(&assign).unwrap());
+        }
+    }
+
+    /// BLIF write → parse round trip is behaviour-preserving.
+    #[test]
+    fn blif_round_trip(fp in expr_strategy(), seed in 0u64..1000) {
+        let net = random_net(&fp, seed);
+        let text = blif::write(&net);
+        let parsed = blif::parse(&text).expect("own output must parse");
+        for bits in 0..1u32 << net.inputs().len() {
+            let assign: Vec<bool> =
+                (0..net.inputs().len()).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(net.eval(&assign).unwrap(), parsed.eval(&assign).unwrap());
+        }
+    }
+}
+
+/// Builds a small network from the expression program: a chain of 2-input
+/// gates mirroring `build_bdd`'s semantics.
+fn random_net(prog: &[(u8, u8, bool)], seed: u64) -> Network {
+    let mut net = Network::new(format!("p{seed}"));
+    let inputs: Vec<_> = (0..NVARS)
+        .map(|i| net.add_input(format!("i{i}")).expect("unique"))
+        .collect();
+    let mut acc = net.add_constant("zero", false).expect("unique");
+    for (k, &(op, v, phase)) in prog.iter().enumerate() {
+        let lit_in = inputs[v as usize];
+        let cover = match op {
+            0 => Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, phase)])]),
+            1 => Cover::from_cubes(vec![Cube::lit(0, true), Cube::lit(1, phase)]),
+            2 => Cover::from_cubes(vec![
+                Cube::parse(&[(0, true), (1, !phase)]),
+                Cube::parse(&[(0, false), (1, phase)]),
+            ]),
+            _ => Cover::from_cubes(vec![
+                Cube::parse(&[(1, phase), (0, true)]),
+                Cube::parse(&[(1, !phase), (0, false)]),
+            ]),
+        };
+        acc = net
+            .add_node(format!("n{k}"), vec![acc, lit_in], cover)
+            .expect("unique");
+    }
+    net.mark_output(acc).expect("valid");
+    net
+}
