@@ -26,6 +26,13 @@ pub enum BddError {
         /// Human-readable description of the inconsistency.
         detail: String,
     },
+    /// A structural invariant audit found the manager corrupted (see
+    /// [`crate::Manager::check_invariants`]). Always a bug in this crate,
+    /// never a usage error.
+    InvariantViolation {
+        /// Description of the violated invariant.
+        detail: String,
+    },
 }
 
 impl fmt::Display for BddError {
@@ -35,9 +42,15 @@ impl fmt::Display for BddError {
                 write!(f, "bdd node limit of {limit} exceeded")
             }
             BddError::UnknownVar { var, var_count } => {
-                write!(f, "variable v{var} is not one of the {var_count} manager variables")
+                write!(
+                    f,
+                    "variable v{var} is not one of the {var_count} manager variables"
+                )
             }
             BddError::BadVarMap { detail } => write!(f, "invalid variable map: {detail}"),
+            BddError::InvariantViolation { detail } => {
+                write!(f, "bdd invariant violated: {detail}")
+            }
         }
     }
 }
@@ -52,7 +65,10 @@ mod tests {
     fn display_is_lowercase_and_concise() {
         let e = BddError::NodeLimit { limit: 10 };
         assert_eq!(e.to_string(), "bdd node limit of 10 exceeded");
-        let e = BddError::UnknownVar { var: 3, var_count: 2 };
+        let e = BddError::UnknownVar {
+            var: 3,
+            var_count: 2,
+        };
         assert!(e.to_string().contains("v3"));
     }
 

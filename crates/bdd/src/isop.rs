@@ -23,7 +23,10 @@ impl Manager {
     /// Debug-asserts `lower ⊆ upper`; in release an inconsistent pair
     /// yields an unspecified (but well-formed) cover.
     pub fn isop(&mut self, lower: Edge, upper: Edge) -> Result<(Vec<Cube>, Edge)> {
-        debug_assert!(self.leq(lower, upper).unwrap_or(true), "isop requires lower ⊆ upper");
+        debug_assert!(
+            self.leq(lower, upper).unwrap_or(true),
+            "isop requires lower ⊆ upper"
+        );
         let mut memo = HashMap::new();
         self.isop_rec(lower, upper, &mut memo)
     }

@@ -68,16 +68,20 @@ mod cube;
 mod dot;
 mod edge;
 mod error;
+mod invariants;
 mod isop;
 mod manager;
+/// Variable reordering: sifting and window permutation.
+pub mod reorder;
 mod restrict;
 mod satisfy;
-pub mod reorder;
+/// Cross-manager BDD transfer (rebuild under a new variable order).
 pub mod transfer;
 
 pub use cube::Cube;
 pub use edge::{Edge, Var};
 pub use error::BddError;
+pub use invariants::STRICT_CHECKS;
 pub use manager::Manager;
 
 /// Crate-wide result alias.

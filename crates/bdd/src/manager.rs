@@ -41,13 +41,13 @@ pub(crate) struct Node {
 #[derive(Debug)]
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
-    unique: HashMap<(u32, Edge, Edge), u32>,
+    pub(crate) unique: HashMap<(u32, Edge, Edge), u32>,
     pub(crate) ite_cache: HashMap<(Edge, Edge, Edge), Edge>,
-    var_names: Vec<String>,
+    pub(crate) var_names: Vec<String>,
     /// var index -> level.
-    level_of_var: Vec<u32>,
+    pub(crate) level_of_var: Vec<u32>,
     /// level -> var index.
-    var_at_level: Vec<u32>,
+    pub(crate) var_at_level: Vec<u32>,
     node_limit: usize,
 }
 
@@ -65,7 +65,11 @@ impl Manager {
     pub fn with_node_limit(limit: usize) -> Self {
         Manager {
             // nodes[0] is the terminal.
-            nodes: vec![Node { level: TERMINAL_LEVEL, high: Edge::ONE, low: Edge::ONE }],
+            nodes: vec![Node {
+                level: TERMINAL_LEVEL,
+                high: Edge::ONE,
+                low: Edge::ONE,
+            }],
             unique: HashMap::new(),
             ite_cache: HashMap::new(),
             var_names: Vec::new(),
@@ -156,7 +160,10 @@ impl Manager {
         if var.index() < self.var_names.len() {
             Ok(())
         } else {
-            Err(BddError::UnknownVar { var: var.index(), var_count: self.var_names.len() })
+            Err(BddError::UnknownVar {
+                var: var.index(),
+                var_count: self.var_names.len(),
+            })
         }
     }
 
@@ -169,6 +176,7 @@ impl Manager {
     /// limit-sensitive code.
     pub fn literal(&mut self, var: Var, phase: bool) -> Edge {
         self.literal_checked(var, phase)
+            // lint:allow(panic) — documented panicking convenience; use literal_checked in limit-sensitive code
             .expect("node limit exhausted while creating a literal")
     }
 
@@ -216,7 +224,9 @@ impl Manager {
             return Ok(Edge::new(idx, false));
         }
         if self.nodes.len() >= self.node_limit {
-            return Err(BddError::NodeLimit { limit: self.node_limit });
+            return Err(BddError::NodeLimit {
+                limit: self.node_limit,
+            });
         }
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node { level, high, low });
@@ -256,7 +266,11 @@ impl Manager {
         }
         let n = &self.nodes[e.node() as usize];
         let c = e.is_complemented();
-        Some((self.var_at(n.level), n.high.complement_if(c), n.low.complement_if(c)))
+        Some((
+            self.var_at(n.level),
+            n.high.complement_if(c),
+            n.low.complement_if(c),
+        ))
     }
 
     /// Raw structural view of an edge's node without pushing the edge's own

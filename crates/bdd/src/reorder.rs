@@ -35,7 +35,11 @@ pub struct SiftLimits {
 
 impl Default for SiftLimits {
     fn default() -> Self {
-        SiftLimits { max_nodes: 20_000, max_vars: 24, passes: 1 }
+        SiftLimits {
+            max_nodes: 20_000,
+            max_vars: 24,
+            passes: 1,
+        }
     }
 }
 
@@ -50,7 +54,11 @@ impl Default for SiftLimits {
 pub fn reorder(src: &Manager, roots: &[Edge], order: &[Var]) -> Result<(Manager, Vec<Edge>)> {
     if order.len() != src.var_count() {
         return Err(crate::BddError::BadVarMap {
-            detail: format!("order lists {} of {} variables", order.len(), src.var_count()),
+            detail: format!(
+                "order lists {} of {} variables",
+                order.len(),
+                src.var_count()
+            ),
         });
     }
     let mut seen = vec![false; src.var_count()];
@@ -71,6 +79,7 @@ pub fn reorder(src: &Manager, roots: &[Edge], order: &[Var]) -> Result<(Manager,
         .collect();
     dst.set_order(order);
     let new_roots = transfer_all(src, &mut dst, roots, &var_map)?;
+    dst.audit()?;
     Ok((dst, new_roots))
 }
 
@@ -105,7 +114,11 @@ pub fn sift(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manage
 
         for var in candidates {
             let cur_order = best_mgr.order();
-            let cur_pos = cur_order.iter().position(|&v| v == var).expect("var in order");
+            let cur_pos = cur_order
+                .iter()
+                .position(|&v| v == var)
+                // lint:allow(panic) — var was taken from this very order
+                .expect("var in order");
             let mut best_pos = cur_pos;
             for pos in 0..cur_order.len() {
                 if pos == cur_pos {
@@ -146,6 +159,7 @@ fn level_population(m: &Manager, roots: &[Edge], var: Var) -> usize {
         if e.is_const() || !seen.insert(e.node()) {
             continue;
         }
+        // lint:allow(panic) — guarded: constants are skipped above
         let (v, h, l) = m.node_raw(e).expect("non-const");
         if m.level_of(v) == lvl {
             count += 1;
@@ -198,8 +212,14 @@ mod tests {
         let before = m.size(f);
         let (m2, roots) = sift(&m, &[f], SiftLimits::default()).unwrap();
         let after = m2.size(roots[0]);
-        assert!(after < before, "sifting must shrink the interleaving victim");
-        assert!(after <= 8, "interleaved order is linear: 6 decision nodes + terminal");
+        assert!(
+            after < before,
+            "sifting must shrink the interleaving victim"
+        );
+        assert!(
+            after <= 8,
+            "interleaved order is linear: 6 decision nodes + terminal"
+        );
         for bits in 0..64u32 {
             let assign: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
             assert_eq!(m.eval(f, &assign), m2.eval(roots[0], &assign));
@@ -228,11 +248,7 @@ mod tests {
 /// # Errors
 /// Node-limit errors from the final rebuild (candidate orders that blow
 /// up are skipped).
-pub fn window3(
-    src: &Manager,
-    roots: &[Edge],
-    limits: SiftLimits,
-) -> Result<(Manager, Vec<Edge>)> {
+pub fn window3(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manager, Vec<Edge>)> {
     let base_order = src.order();
     if src.count_nodes(roots) > limits.max_nodes || src.var_count() < 3 {
         return reorder(src, roots, &base_order);
@@ -245,8 +261,14 @@ pub fn window3(
         for start in 0..n.saturating_sub(2) {
             let cur = best_mgr.order();
             // All permutations of the 3 window slots.
-            const PERMS: [[usize; 3]; 6] =
-                [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+            const PERMS: [[usize; 3]; 6] = [
+                [0, 1, 2],
+                [0, 2, 1],
+                [1, 0, 2],
+                [1, 2, 0],
+                [2, 0, 1],
+                [2, 1, 0],
+            ];
             for perm in PERMS.iter().skip(1) {
                 let mut order = cur.clone();
                 let window = [cur[start], cur[start + 1], cur[start + 2]];
@@ -284,8 +306,12 @@ mod window_tests {
         let d = m.new_var("d");
         let b = m.new_var("b");
         let c = m.new_var("c");
-        let (la, lb, lc, ld) =
-            (m.literal(a, true), m.literal(b, true), m.literal(c, true), m.literal(d, true));
+        let (la, lb, lc, ld) = (
+            m.literal(a, true),
+            m.literal(b, true),
+            m.literal(c, true),
+            m.literal(d, true),
+        );
         let ac = m.and(la, lc).unwrap();
         let bc = m.and(lb, lc).unwrap();
         let ab = m.and(la, lb).unwrap();
@@ -313,7 +339,10 @@ mod window_tests {
             let t = m.and(la, lb).unwrap();
             f = m.or(f, t).unwrap();
         }
-        let limits = SiftLimits { passes: 4, ..SiftLimits::default() };
+        let limits = SiftLimits {
+            passes: 4,
+            ..SiftLimits::default()
+        };
         let (mw, rw) = window3(&m, &[f], limits).unwrap();
         let (ms, rs) = sift(&m, &[f], limits).unwrap();
         // Both must reach the linear-size interleaved form.
@@ -339,11 +368,7 @@ mod window_tests {
 /// # Errors
 /// [`crate::BddError::BadVarMap`] when the support exceeds `max_vars`
 /// (factorial blow-up guard); node-limit errors from rebuilds.
-pub fn exact(
-    src: &Manager,
-    roots: &[Edge],
-    max_vars: usize,
-) -> Result<(Manager, Vec<Edge>)> {
+pub fn exact(src: &Manager, roots: &[Edge], max_vars: usize) -> Result<(Manager, Vec<Edge>)> {
     let support = src.support_of(roots);
     if support.len() > max_vars || support.len() > 8 {
         return Err(crate::BddError::BadVarMap {
@@ -410,7 +435,11 @@ mod exact_tests {
             f = m.or(f, t).unwrap();
         }
         let (me, re) = exact(&m, &[f], 8).unwrap();
-        assert_eq!(me.size(re[0]), 7, "global optimum: 6 decision nodes + terminal");
+        assert_eq!(
+            me.size(re[0]),
+            7,
+            "global optimum: 6 decision nodes + terminal"
+        );
         for bits in 0..64u32 {
             let assign: Vec<bool> = (0..6).map(|i| bits >> i & 1 == 1).collect();
             assert_eq!(m.eval(f, &assign), me.eval(re[0], &assign));
@@ -446,7 +475,10 @@ mod exact_tests {
             }
             let (me, re) = exact(&m, &[f], 8).unwrap();
             let optimum = me.size(re[0]);
-            let limits = SiftLimits { passes: 3, ..SiftLimits::default() };
+            let limits = SiftLimits {
+                passes: 3,
+                ..SiftLimits::default()
+            };
             let (ms, rs) = sift(&m, &[f], limits).unwrap();
             let heuristic = ms.size(rs[0]);
             assert!(
@@ -466,6 +498,9 @@ mod exact_tests {
             let t = m.and(chunk[0], chunk[1]).unwrap();
             f = m.or(f, t).unwrap();
         }
-        assert!(exact(&m, &[f], 8).is_err(), "12-var support must be refused");
+        assert!(
+            exact(&m, &[f], 8).is_err(),
+            "12-var support must be refused"
+        );
     }
 }

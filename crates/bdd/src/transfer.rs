@@ -61,7 +61,9 @@ pub fn transfer(src: &Manager, dst: &mut Manager, root: Edge, var_map: &[Var]) -
         dst.check_var(v)?;
     }
     let mut memo: HashMap<u32, Edge> = HashMap::new();
-    transfer_rec(src, dst, root, var_map, &mut memo)
+    let out = transfer_rec(src, dst, root, var_map, &mut memo)?;
+    dst.audit()?;
+    Ok(out)
 }
 
 /// Re-homes several roots at once, sharing the memo table (and therefore
@@ -112,6 +114,7 @@ fn transfer_rec(
     } else {
         let (var, high, low) = src
             .node_raw(e.regular())
+            // lint:allow(panic) — guarded: constants are handled in the other branch
             .expect("non-constant edge has a node");
         let h = transfer_rec(src, dst, high, var_map, memo)?;
         let l = transfer_rec(src, dst, low, var_map, memo)?;
@@ -148,6 +151,7 @@ pub fn compact(src: &Manager, roots: &[Edge]) -> Result<(Manager, Vec<Edge>, Vec
         }
     }
     let new_roots = transfer_all(src, &mut dst, roots, &var_map)?;
+    dst.audit()?;
     Ok((dst, new_roots, var_map))
 }
 

@@ -123,7 +123,12 @@ fn transfer_pipeline_compact_then_sift() {
 
     // Check all assignments over the original variables.
     for bits in 0..16u32 {
-        let vals = [bits & 1 == 1, bits >> 1 & 1 == 1, bits >> 2 & 1 == 1, bits >> 3 & 1 == 1];
+        let vals = [
+            bits & 1 == 1,
+            bits >> 1 & 1 == 1,
+            bits >> 2 & 1 == 1,
+            bits >> 3 & 1 == 1,
+        ];
         let mut assign = vec![false; 12];
         assign[2] = vals[0];
         assign[5] = vals[1];
@@ -146,7 +151,11 @@ fn reorder_then_transfer_back_is_identity() {
     let lits: Vec<Edge> = vars.iter().map(|&v| m.literal(v, true)).collect();
     let mut f = lits[0];
     for (i, &l) in lits.iter().enumerate().skip(1) {
-        f = if i % 2 == 0 { m.and(f, l).unwrap() } else { m.xor(f, l).unwrap() };
+        f = if i % 2 == 0 {
+            m.and(f, l).unwrap()
+        } else {
+            m.xor(f, l).unwrap()
+        };
     }
     let mut order = m.order();
     order.reverse();
@@ -160,7 +169,11 @@ fn reorder_then_transfer_back_is_identity() {
         let lits: Vec<Edge> = v3.iter().map(|&v| m3.literal(v, true)).collect();
         let mut g = lits[0];
         for (i, &l) in lits.iter().enumerate().skip(1) {
-            g = if i % 2 == 0 { m3.and(g, l).unwrap() } else { m3.xor(g, l).unwrap() };
+            g = if i % 2 == 0 {
+                m3.and(g, l).unwrap()
+            } else {
+                m3.xor(g, l).unwrap()
+            };
         }
         g
     };

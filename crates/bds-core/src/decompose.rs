@@ -191,9 +191,7 @@ impl Decomposer {
         if size <= params.max_search_size {
             let info = PathInfo::compute(mgr, f);
             for &method in &params.priority.clone() {
-                if let Some(r) =
-                    self.try_method(mgr, f, forest, params, method, &info, size)?
-                {
+                if let Some(r) = self.try_method(mgr, f, forest, params, method, &info, size)? {
                     result = Some(r);
                     break;
                 }
@@ -203,6 +201,7 @@ impl Decomposer {
             Some(r) => r,
             None => {
                 // Fallback: Shannon cofactor on the top variable.
+                // lint:allow(panic) — decompose() rejects constant functions on entry
                 let d = shannon(mgr, f).expect("non-constant function");
                 self.stats.shannon += 1;
                 let hi = self.decompose(mgr, d.hi, forest, params)?;
@@ -217,7 +216,7 @@ impl Decomposer {
         if support.len() <= params.flat_compare_support {
             let (cubes, cover) = mgr.isop(f, f)?;
             debug_assert_eq!(cover, f);
-            let flat: usize = cubes.iter().map(|c| c.len()).sum();
+            let flat: usize = cubes.iter().map(bds_bdd::Cube::len).sum();
             if flat < forest.literal_count(r) {
                 self.stats.leaves += 1;
                 return Ok(forest.push(FactorNode::Leaf(cubes)));
@@ -271,55 +270,46 @@ impl Decomposer {
                 }
                 Ok(None)
             }
-            Method::FunctionalMux => {
-                match best_mux_decomposition(mgr, f, info, size)? {
-                    Some(d) => {
-                        self.stats.func_mux += 1;
-                        let sel = self.decompose(mgr, d.control, forest, params)?;
-                        let hi = self.decompose(mgr, d.hi, forest, params)?;
-                        let lo = self.decompose(mgr, d.lo, forest, params)?;
-                        Ok(Some(self.push_mux(forest, sel, hi, lo)))
-                    }
-                    None => Ok(None),
+            Method::FunctionalMux => match best_mux_decomposition(mgr, f, info, size)? {
+                Some(d) => {
+                    self.stats.func_mux += 1;
+                    let sel = self.decompose(mgr, d.control, forest, params)?;
+                    let hi = self.decompose(mgr, d.hi, forest, params)?;
+                    let lo = self.decompose(mgr, d.lo, forest, params)?;
+                    Ok(Some(self.push_mux(forest, sel, hi, lo)))
                 }
-            }
-            Method::GeneralizedDominator => {
-                match best_boolean_decomposition(mgr, f, size)? {
-                    Some(BooleanDecomp::Conjunctive { divisor, quotient }) => {
-                        self.stats.gen_dom += 1;
-                        let a = self.decompose(mgr, divisor, forest, params)?;
-                        let b = self.decompose(mgr, quotient, forest, params)?;
-                        Ok(Some(forest.push(FactorNode::And(a, b))))
-                    }
-                    Some(BooleanDecomp::Disjunctive { term, rest }) => {
-                        self.stats.gen_dom += 1;
-                        let a = self.decompose(mgr, term, forest, params)?;
-                        let b = self.decompose(mgr, rest, forest, params)?;
-                        Ok(Some(forest.push(FactorNode::Or(a, b))))
-                    }
-                    None => Ok(None),
+                None => Ok(None),
+            },
+            Method::GeneralizedDominator => match best_boolean_decomposition(mgr, f, size)? {
+                Some(BooleanDecomp::Conjunctive { divisor, quotient }) => {
+                    self.stats.gen_dom += 1;
+                    let a = self.decompose(mgr, divisor, forest, params)?;
+                    let b = self.decompose(mgr, quotient, forest, params)?;
+                    Ok(Some(forest.push(FactorNode::And(a, b))))
                 }
-            }
-            Method::GeneralizedXDominator => {
-                match best_xnor_decomposition(mgr, f, size)? {
-                    Some(d) => {
-                        self.stats.gen_xdom += 1;
-                        let a = self.decompose(mgr, d.g, forest, params)?;
-                        let b = self.decompose(mgr, d.h, forest, params)?;
-                        Ok(Some(forest.push(FactorNode::Xnor(a, b))))
-                    }
-                    None => Ok(None),
+                Some(BooleanDecomp::Disjunctive { term, rest }) => {
+                    self.stats.gen_dom += 1;
+                    let a = self.decompose(mgr, term, forest, params)?;
+                    let b = self.decompose(mgr, rest, forest, params)?;
+                    Ok(Some(forest.push(FactorNode::Or(a, b))))
                 }
-            }
+                None => Ok(None),
+            },
+            Method::GeneralizedXDominator => match best_xnor_decomposition(mgr, f, size)? {
+                Some(d) => {
+                    self.stats.gen_xdom += 1;
+                    let a = self.decompose(mgr, d.g, forest, params)?;
+                    let b = self.decompose(mgr, d.h, forest, params)?;
+                    Ok(Some(forest.push(FactorNode::Xnor(a, b))))
+                }
+                None => Ok(None),
+            },
         }
     }
 
     fn parts_shrink(&self, mgr: &Manager, dec: &SimpleDecomp, size: usize) -> bool {
         let (g, h) = dec.parts();
-        !g.is_const()
-            && !h.is_const()
-            && mgr.size(g) < size
-            && mgr.size(h) < size
+        !g.is_const() && !h.is_const() && mgr.size(g) < size && mgr.size(h) < size
     }
 
     fn emit_simple(
@@ -382,13 +372,7 @@ impl Decomposer {
 mod tests {
     use super::*;
 
-    fn check_equiv(
-        mgr: &Manager,
-        f: Edge,
-        forest: &FactorForest,
-        root: FactorRef,
-        nvars: usize,
-    ) {
+    fn check_equiv(mgr: &Manager, f: Edge, forest: &FactorForest, root: FactorRef, nvars: usize) {
         for bits in 0..1u32 << nvars {
             let assign: Vec<bool> = (0..nvars).map(|i| bits >> i & 1 == 1).collect();
             assert_eq!(
@@ -452,7 +436,10 @@ mod tests {
             "an XOR chain must be recognized via XNOR structure: {:?}",
             dec.stats
         );
-        assert_eq!(dec.stats.shannon, 0, "no Shannon fallback needed for a parity chain");
+        assert_eq!(
+            dec.stats.shannon, 0,
+            "no Shannon fallback needed for a parity chain"
+        );
     }
 
     #[test]
@@ -472,7 +459,11 @@ mod tests {
             .decompose(&mut m, f, &mut forest, &DecomposeParams::default())
             .unwrap();
         check_equiv(&m, f, &forest, root, 6);
-        assert!(dec.stats.and_dom >= 1, "1-dominators must fire: {:?}", dec.stats);
+        assert!(
+            dec.stats.and_dom >= 1,
+            "1-dominators must fire: {:?}",
+            dec.stats
+        );
         assert_eq!(dec.stats.shannon, 0);
     }
 
@@ -493,7 +484,10 @@ mod tests {
         let r2 = dec.decompose(&mut m, f2, &mut forest, &p).unwrap();
         check_equiv(&m, f1, &forest, r1, 5);
         check_equiv(&m, f2, &forest, r2, 5);
-        assert!(dec.stats.shared > 0, "the common gc sub-function must be shared");
+        assert!(
+            dec.stats.shared > 0,
+            "the common gc sub-function must be shared"
+        );
     }
 
     #[test]
@@ -508,7 +502,9 @@ mod tests {
         assert!(forest.eval(r1, &[false]));
         let r0 = dec.decompose(&mut m, Edge::ZERO, &mut forest, &p).unwrap();
         assert!(!forest.eval(r0, &[false]));
-        let rl = dec.decompose(&mut m, la.complement(), &mut forest, &p).unwrap();
+        let rl = dec
+            .decompose(&mut m, la.complement(), &mut forest, &p)
+            .unwrap();
         assert!(forest.eval(rl, &[false]));
         assert!(!forest.eval(rl, &[true]));
     }

@@ -138,7 +138,10 @@ pub fn decompose_at_x_dominator(
     f: Edge,
     d: Edge,
 ) -> bds_bdd::Result<SimpleDecomp> {
-    debug_assert!(!d.is_complemented(), "x-dominator is identified by its regular edge");
+    debug_assert!(
+        !d.is_complemented(),
+        "x-dominator is identified by its regular edge"
+    );
     let mut subst = HashMap::new();
     subst.insert(d, Edge::ONE);
     subst.insert(d.complement(), Edge::ZERO);
@@ -200,7 +203,11 @@ mod tests {
         let q = m.new_var("q");
         let x = m.new_var("x");
         let y = m.new_var("y");
-        let (lu, lr, lq) = (m.literal(u, false), m.literal(r, false), m.literal(q, false));
+        let (lu, lr, lq) = (
+            m.literal(u, false),
+            m.literal(r, false),
+            m.literal(q, false),
+        );
         let (lx, ly) = (m.literal(x, true), m.literal(y, true));
         let xy = m.or(lx, ly).unwrap();
         let urq1 = m.or(lu, lr).unwrap();

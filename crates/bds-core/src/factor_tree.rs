@@ -25,12 +25,18 @@ pub struct FactorRef {
 impl FactorRef {
     /// The complemented reference (free, like a BDD complement edge).
     pub fn complement(self) -> FactorRef {
-        FactorRef { id: self.id, complement: !self.complement }
+        FactorRef {
+            id: self.id,
+            complement: !self.complement,
+        }
     }
 
     /// Complements iff `c`.
     pub fn complement_if(self, c: bool) -> FactorRef {
-        FactorRef { id: self.id, complement: self.complement ^ c }
+        FactorRef {
+            id: self.id,
+            complement: self.complement ^ c,
+        }
     }
 
     /// True if this reference carries the complement attribute.
@@ -88,7 +94,10 @@ impl FactorForest {
     pub fn push(&mut self, node: FactorNode) -> FactorRef {
         let id = self.nodes.len() as u32;
         self.nodes.push(node);
-        FactorRef { id, complement: false }
+        FactorRef {
+            id,
+            complement: false,
+        }
     }
 
     /// The node a reference points at (ignoring its complement flag).
@@ -120,7 +129,7 @@ impl FactorForest {
                 FactorNode::One => {}
                 FactorNode::Literal(_) => count += 1,
                 FactorNode::Leaf(cubes) => {
-                    count += cubes.iter().map(Cube::len).sum::<usize>()
+                    count += cubes.iter().map(Cube::len).sum::<usize>();
                 }
                 FactorNode::And(a, b) | FactorNode::Or(a, b) | FactorNode::Xnor(a, b) => {
                     stack.push(a.id());
@@ -265,7 +274,11 @@ mod tests {
         let x = f.push(FactorNode::Xnor(a, b));
         assert!(f.eval(x, &[true, true]));
         assert!(!f.eval(x, &[true, false]));
-        let m = f.push(FactorNode::Mux { sel: a, hi: b, lo: b.complement() });
+        let m = f.push(FactorNode::Mux {
+            sel: a,
+            hi: b,
+            lo: b.complement(),
+        });
         assert!(f.eval(m, &[true, true]));
         assert!(!f.eval(m, &[true, false]));
         assert!(f.eval(m, &[false, false]));

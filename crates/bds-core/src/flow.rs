@@ -101,11 +101,12 @@ pub struct FlowReport {
 /// partitioned fallback instead of failing.
 pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowReport), NetworkError> {
     let start = Instant::now();
-    let mut work = net.compacted();
-    work.sweep();
+    let mut work = net.compacted()?;
+    // Phase boundary: sweep audits the network on exit (strict builds).
+    work.sweep()?;
     let base_literals = work.stats().literals;
     let lib = Library::mcnc();
-    let base_area = map_network(&work, &lib).map(|m| m.area).unwrap_or(f64::INFINITY);
+    let base_area = map_network(&work, &lib).map_or(f64::INFINITY, |m| m.area);
 
     // The decomposition is "a search process for the most efficient
     // decomposition" (paper §IV-C); at the flow level we likewise keep a
@@ -115,7 +116,7 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
     if params.global_limit > 0 && work.inputs().len() <= params.global_max_inputs {
         match optimize_global(&work, params) {
             Ok((out, mut report)) => {
-                let area = map_network(&out, &lib).map(|m| m.area).unwrap_or(f64::INFINITY);
+                let area = map_network(&out, &lib).map_or(f64::INFINITY, |m| m.area);
                 if out.stats().literals <= base_literals && area <= base_area {
                     // Fast path: the global decomposition improved (or
                     // matched) both the network and its mapping — accept
@@ -124,9 +125,10 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
                     let mut out = out;
                     if let Some(sdc_params) = &params.sdc {
                         crate::sdc::sdc_simplify(&mut out, sdc_params)?;
-                        out.sweep();
-                        out = out.compacted();
+                        out.sweep()?;
+                        out = out.compacted()?;
                     }
+                    out.audit()?;
                     report.seconds = start.elapsed().as_secs_f64();
                     return Ok((out, report));
                 }
@@ -139,8 +141,9 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
 
     {
         let mut collapsed = work.clone();
-        let eliminated = collapsed.eliminate(&params.eliminate);
-        collapsed.sweep();
+        // Phase boundary: eliminate audits the partial collapse on exit.
+        let eliminated = collapsed.eliminate(&params.eliminate)?;
+        collapsed.sweep()?;
         let (out, mut report) = optimize_partitioned(&collapsed, params)?;
         report.eliminated = eliminated;
         candidates.push((out, report));
@@ -157,16 +160,20 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
     let (mut out, mut report) = candidates
         .into_iter()
         .min_by(|(a, _), (b, _)| {
-            let ca = map_network(a, &lib).map(|m| m.area).unwrap_or(f64::INFINITY);
-            let cb = map_network(b, &lib).map(|m| m.area).unwrap_or(f64::INFINITY);
+            let ca = map_network(a, &lib).map_or(f64::INFINITY, |m| m.area);
+            let cb = map_network(b, &lib).map_or(f64::INFINITY, |m| m.area);
             ca.total_cmp(&cb)
         })
-        .expect("non-empty portfolio");
+        .ok_or_else(|| NetworkError::Inconsistent {
+            detail: "flow portfolio is empty".to_string(),
+        })?;
     if let Some(sdc_params) = &params.sdc {
         crate::sdc::sdc_simplify(&mut out, sdc_params)?;
-        out.sweep();
-        out = out.compacted();
+        out.sweep()?;
+        out = out.compacted()?;
     }
+    // Phase boundary: final selected network must be structurally sound.
+    out.audit()?;
     report.seconds = start.elapsed().as_secs_f64();
     Ok((out, report))
 }
@@ -181,6 +188,8 @@ pub fn optimize_global(
     params: &FlowParams,
 ) -> Result<(Network, FlowReport), NetworkError> {
     let (mgr, edges, var_of) = net.global_bdds(params.global_limit)?;
+    // Phase boundary: the freshly built global manager must be canonical.
+    mgr.audit().map_err(NetworkError::Bdd)?;
     // Structure-loss guard: when the global form dwarfs the netlist
     // (multiplier-like circuits), report a node-limit condition so the
     // caller falls back to the partitioned flow.
@@ -213,17 +222,20 @@ pub fn optimize_global(
             var_slots[v.index()] = Some(sig);
         }
     }
-    let var_signals: Vec<SignalId> = var_slots
-        .into_iter()
-        .map(|s| s.expect("every global-BDD variable corresponds to a primary input"))
-        .collect();
+    let mut var_signals: Vec<SignalId> = Vec::with_capacity(var_slots.len());
+    for (v, slot) in var_slots.into_iter().enumerate() {
+        let sig = slot.ok_or_else(|| NetworkError::Inconsistent {
+            detail: format!("global-BDD variable #{v} matches no primary input"),
+        })?;
+        var_signals.push(sig);
+    }
     let emitted = emit_forest(&mut out, &forest, &roots, &var_signals, "bds")?;
     for (idx, &o) in net.outputs().iter().enumerate() {
         let sig = alias(&mut out, emitted[idx], net.signal_name(o))?;
         out.mark_output(sig)?;
     }
-    out.sweep();
-    let out = out.compacted();
+    out.sweep()?;
+    let out = out.compacted()?;
     Ok((
         out,
         FlowReport {
@@ -246,7 +258,7 @@ pub fn optimize_partitioned(
     net: &Network,
     params: &FlowParams,
 ) -> Result<(Network, FlowReport), NetworkError> {
-    let work = net.compacted();
+    let work = net.compacted()?;
     let mut out = Network::new(work.name());
     let mut stats = DecomposeStats::default();
     let mut peak = 0usize;
@@ -259,7 +271,9 @@ pub fn optimize_partitioned(
         if work.is_input(sig) {
             continue;
         }
-        let (fanins, _) = work.node(sig).expect("non-input");
+        let Some((fanins, _)) = work.node(sig) else {
+            continue;
+        };
         let fanins = fanins.to_vec();
         let mut mgr = Manager::new();
         let vars: Vec<bds_bdd::Var> = fanins
@@ -278,19 +292,29 @@ pub fn optimize_partitioned(
             .map_err(NetworkError::Bdd)?;
         accumulate(&mut stats, dec.stats);
 
-        let var_signals: Vec<SignalId> = fanins
-            .iter()
-            .map(|f| map[f.index()].expect("fanins emitted in topological order"))
-            .collect();
+        let mut var_signals: Vec<SignalId> = Vec::with_capacity(fanins.len());
+        for f in &fanins {
+            let mapped = map[f.index()].ok_or_else(|| NetworkError::Inconsistent {
+                detail: format!(
+                    "fanin `{}` not emitted before `{}`",
+                    work.signal_name(*f),
+                    work.signal_name(sig)
+                ),
+            })?;
+            var_signals.push(mapped);
+        }
         let emitted = emit_forest(&mut out, &forest, &[root], &var_signals, "bds")?;
         let named = alias(&mut out, emitted[0], work.signal_name(sig))?;
         map[sig.index()] = Some(named);
     }
     for &o in work.outputs() {
-        out.mark_output(map[o.index()].expect("outputs are nodes or inputs"))?;
+        let mapped = map[o.index()].ok_or_else(|| NetworkError::Inconsistent {
+            detail: format!("output `{}` was never emitted", work.signal_name(o)),
+        })?;
+        out.mark_output(mapped)?;
     }
-    out.sweep();
-    let out = out.compacted();
+    out.sweep()?;
+    let out = out.compacted()?;
     Ok((
         out,
         FlowReport {
@@ -321,7 +345,13 @@ mod tests {
     use bds_network::verify::{verify, Verdict};
     use bds_sop::{Cover, Cube};
 
-    fn adder_bit(net: &mut Network, a: SignalId, b: SignalId, cin: SignalId, i: usize) -> (SignalId, SignalId) {
+    fn adder_bit(
+        net: &mut Network,
+        a: SignalId,
+        b: SignalId,
+        cin: SignalId,
+        i: usize,
+    ) -> (SignalId, SignalId) {
         // sum = a ⊕ b ⊕ cin ; cout = ab + ac + bc — as flat covers.
         let sum_cover = Cover::from_cubes(vec![
             Cube::parse(&[(0, true), (1, false), (2, false)]),
@@ -334,17 +364,23 @@ mod tests {
             Cube::parse(&[(0, true), (2, true)]),
             Cube::parse(&[(1, true), (2, true)]),
         ]);
-        let s = net.add_node(format!("sum{i}"), vec![a, b, cin], sum_cover).unwrap();
-        let c = net.add_node(format!("cout{i}"), vec![a, b, cin], cout_cover).unwrap();
+        let s = net
+            .add_node(format!("sum{i}"), vec![a, b, cin], sum_cover)
+            .unwrap();
+        let c = net
+            .add_node(format!("cout{i}"), vec![a, b, cin], cout_cover)
+            .unwrap();
         (s, c)
     }
 
     fn ripple_adder(bits: usize) -> Network {
         let mut net = Network::new("adder");
-        let a: Vec<SignalId> =
-            (0..bits).map(|i| net.add_input(format!("a{i}")).unwrap()).collect();
-        let b: Vec<SignalId> =
-            (0..bits).map(|i| net.add_input(format!("b{i}")).unwrap()).collect();
+        let a: Vec<SignalId> = (0..bits)
+            .map(|i| net.add_input(format!("a{i}")).unwrap())
+            .collect();
+        let b: Vec<SignalId> = (0..bits)
+            .map(|i| net.add_input(format!("b{i}")).unwrap())
+            .collect();
         let mut carry = net.add_constant("c0", false).unwrap();
         for i in 0..bits {
             let (s, c) = adder_bit(&mut net, a[i], b[i], carry, i);
@@ -364,13 +400,19 @@ mod tests {
         assert_eq!(verify(&net, &opt, 1_000_000).unwrap(), Verdict::Equivalent);
         // The decomposition must have exploited XOR structure.
         let d = report.decompose;
-        assert!(d.xnor_dom + d.gen_xdom > 0, "adders are XOR-intensive: {d:?}");
+        assert!(
+            d.xnor_dom + d.gen_xdom > 0,
+            "adders are XOR-intensive: {d:?}"
+        );
     }
 
     #[test]
     fn flow_partitioned_mode_works() {
         let net = ripple_adder(6);
-        let params = FlowParams { global_limit: 0, ..Default::default() };
+        let params = FlowParams {
+            global_limit: 0,
+            ..Default::default()
+        };
         let (opt, report) = optimize(&net, &params).unwrap();
         assert_eq!(report.mode, FlowMode::Partitioned);
         assert_eq!(verify(&net, &opt, 1_000_000).unwrap(), Verdict::Equivalent);
@@ -382,7 +424,10 @@ mod tests {
         let (opt, _) = optimize(&net, &FlowParams::default()).unwrap();
         for sig in opt.node_ids() {
             let (fanins, _) = opt.node(sig).unwrap();
-            assert!(fanins.len() <= 3, "gates must stay at ≤3 inputs (MUX worst case)");
+            assert!(
+                fanins.len() <= 3,
+                "gates must stay at ≤3 inputs (MUX worst case)"
+            );
         }
     }
 }

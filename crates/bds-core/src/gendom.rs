@@ -96,11 +96,7 @@ pub fn conjunctive_divisor(
 ///
 /// # Errors
 /// Node-limit errors from the manager.
-pub fn disjunctive_term(
-    mgr: &mut Manager,
-    f: Edge,
-    level: u32,
-) -> bds_bdd::Result<Option<Edge>> {
+pub fn disjunctive_term(mgr: &mut Manager, f: Edge, level: u32) -> bds_bdd::Result<Option<Edge>> {
     let mut free_edges = 0usize;
     let g = rebuild_above_cut(mgr, f, level, &mut |_| {
         free_edges += 1;
@@ -160,7 +156,13 @@ pub fn best_boolean_decomposition(
                     let cost = mgr.count_nodes(&[d, q]);
                     let parts_ok = mgr.size(d) < require_below && mgr.size(q) < require_below;
                     if parts_ok && best.as_ref().is_none_or(|&(_, c)| cost < c) {
-                        best = Some((BooleanDecomp::Conjunctive { divisor: d, quotient: q }, cost));
+                        best = Some((
+                            BooleanDecomp::Conjunctive {
+                                divisor: d,
+                                quotient: q,
+                            },
+                            cost,
+                        ));
                     }
                 }
             }
@@ -199,7 +201,9 @@ mod tests {
         let bd = m.and(lb, ld).unwrap();
         let f = m.or(le, bd).unwrap();
         // Cut between d (level 1) and b (level 2).
-        let div = conjunctive_divisor(&mut m, f, 2).unwrap().expect("valid cut");
+        let div = conjunctive_divisor(&mut m, f, 2)
+            .unwrap()
+            .expect("valid cut");
         let want_d = m.or(le, ld).unwrap();
         assert_eq!(div, want_d, "D = e + d (Lemma 1)");
         let q = conjunctive_quotient(&mut m, f, div).unwrap();

@@ -49,6 +49,7 @@ pub fn mux_candidates(mgr: &Manager, f: Edge) -> Vec<(u32, Edge, Edge)> {
                 continue;
             }
             vertices.push(e);
+            // lint:allow(panic) — guarded: constants are skipped above
             let (_, t, el) = mgr.node(e).expect("non-const");
             for child in [t, el] {
                 if child.is_const() {
@@ -103,12 +104,7 @@ pub fn mux_candidates(mgr: &Manager, f: Edge) -> Vec<(u32, Edge, Edge)> {
 ///
 /// # Errors
 /// Node-limit errors from the manager.
-pub fn decompose_mux(
-    mgr: &mut Manager,
-    f: Edge,
-    u: Edge,
-    v: Edge,
-) -> bds_bdd::Result<MuxDecomp> {
+pub fn decompose_mux(mgr: &mut Manager, f: Edge, u: Edge, v: Edge) -> bds_bdd::Result<MuxDecomp> {
     let mut subst = HashMap::new();
     subst.insert(u, Edge::ONE);
     subst.insert(v, Edge::ZERO);
@@ -118,7 +114,11 @@ pub fn decompose_mux(
         Ok(f),
         "Theorem 7 identity F = h·f + h̄·g"
     );
-    Ok(MuxDecomp { control, hi: u, lo: v })
+    Ok(MuxDecomp {
+        control,
+        hi: u,
+        lo: v,
+    })
 }
 
 /// Searches cut levels for the best functional MUX decomposition with all
@@ -139,8 +139,7 @@ pub fn best_mux_decomposition(
         if d.control.is_const() {
             continue;
         }
-        let sizes =
-            [mgr.size(d.control), mgr.size(d.hi), mgr.size(d.lo)];
+        let sizes = [mgr.size(d.control), mgr.size(d.hi), mgr.size(d.lo)];
         if sizes.iter().any(|&s| s >= require_below) {
             continue;
         }
@@ -163,7 +162,11 @@ pub fn best_mux_decomposition(
 pub fn shannon(mgr: &mut Manager, f: Edge) -> Option<MuxDecomp> {
     let (var, t, e) = mgr.node(f)?;
     let control = mgr.literal(var, true);
-    Some(MuxDecomp { control, hi: t, lo: e })
+    Some(MuxDecomp {
+        control,
+        hi: t,
+        lo: e,
+    })
 }
 
 #[cfg(test)]
@@ -188,7 +191,10 @@ mod tests {
         let f = m.ite(g, ly, lz).unwrap();
 
         let candidates = mux_candidates(&m, f);
-        assert!(!candidates.is_empty(), "the z/ȳ articulation pair must be found");
+        assert!(
+            !candidates.is_empty(),
+            "the z/ȳ articulation pair must be found"
+        );
         let fsize = m.size(f);
         let info = PathInfo::compute(&m, f);
         let best = best_mux_decomposition(&mut m, f, &info, fsize)

@@ -32,7 +32,11 @@ pub struct SdcParams {
 
 impl Default for SdcParams {
     fn default() -> Self {
-        SdcParams { max_window: 16, bdd_limit: 20_000, max_fanin: 10 }
+        SdcParams {
+            max_window: 16,
+            bdd_limit: 20_000,
+            max_fanin: 10,
+        }
     }
 }
 
@@ -47,7 +51,9 @@ impl Default for SdcParams {
 pub fn sdc_simplify(net: &mut Network, params: &SdcParams) -> Result<usize, NetworkError> {
     let mut rewritten = 0;
     for sig in net.topo_order() {
-        let Some((fanins, cover)) = net.node(sig) else { continue };
+        let Some((fanins, cover)) = net.node(sig) else {
+            continue;
+        };
         if fanins.len() < 2 || fanins.len() > params.max_fanin {
             continue;
         }
@@ -111,7 +117,9 @@ fn minimize_node(
     for &w in &window {
         var_of.insert(w, mgr.new_var(net.signal_name(w)));
     }
-    let y_vars: Vec<Var> = (0..fanins.len()).map(|i| mgr.new_var(format!("y{i}"))).collect();
+    let y_vars: Vec<Var> = (0..fanins.len())
+        .map(|i| mgr.new_var(format!("y{i}")))
+        .collect();
 
     // Build each fanin's function over the window variables.
     let mut value: HashMap<SignalId, Edge> = HashMap::new();
@@ -122,6 +130,7 @@ fn minimize_node(
         if value.contains_key(&s) || net.node(s).is_none() {
             continue;
         }
+        // lint:allow(panic) — guarded: node(s).is_none() continues above
         let (fs, c) = net.node(s).expect("node");
         if !fs.iter().all(|f| value.contains_key(f)) {
             continue; // outside the cone
@@ -166,9 +175,11 @@ fn minimize_node(
             Cube::new(
                 c.literals()
                     .iter()
+                    // lint:allow(panic) — pos_of indexes every y variable by construction
                     .map(|&(v, p)| (*pos_of.get(&v.index()).expect("y var"), p))
                     .collect(),
             )
+            // lint:allow(panic) — ISOP cubes never contain both phases
             .expect("isop cubes consistent")
         })
         .collect();
@@ -221,17 +232,24 @@ mod tests {
         let b = n.add_input("b").unwrap();
         let g = n.add_node("g", vec![a, b], xor2()).unwrap();
         let ng = n
-            .add_node("ng", vec![a, b], Cover::from_cubes(vec![
-                Cube::parse(&[(0, true), (1, true)]),
-                Cube::parse(&[(0, false), (1, false)]),
-            ]))
+            .add_node(
+                "ng",
+                vec![a, b],
+                Cover::from_cubes(vec![
+                    Cube::parse(&[(0, true), (1, true)]),
+                    Cube::parse(&[(0, false), (1, false)]),
+                ]),
+            )
             .unwrap();
         // f = g ⊕ ng ≡ 1 under SDC (fanins always differ).
         let f = n.add_node("f", vec![g, ng], xor2()).unwrap();
         n.mark_output(f).unwrap();
         let before = n.clone();
         let rewritten = sdc_simplify(&mut n, &SdcParams::default()).unwrap();
-        assert!(rewritten >= 1, "the xor of complementary signals must simplify");
+        assert!(
+            rewritten >= 1,
+            "the xor of complementary signals must simplify"
+        );
         assert_eq!(verify(&before, &n, 100_000).unwrap(), Verdict::Equivalent);
         let (_, cover) = n.node(f).unwrap();
         assert!(
@@ -274,19 +292,26 @@ mod tests {
     #[test]
     fn window_cap_skips_wide_cones() {
         let mut n = Network::new("t");
-        let ins: Vec<_> = (0..24).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<_> = (0..24)
+            .map(|i| n.add_input(format!("i{i}")).unwrap())
+            .collect();
         let wide = Cover::from_cubes(vec![Cube::parse(
             &(0..24).map(|i| (i as u32, true)).collect::<Vec<_>>(),
         )]);
         let g = n.add_node("g", ins.clone(), wide.clone()).unwrap();
         let g2 = n.add_node("g2", ins, wide).unwrap();
         let f = n
-            .add_node("f", vec![g, g2], Cover::from_cubes(vec![
-                Cube::parse(&[(0, true), (1, true)]),
-            ]))
+            .add_node(
+                "f",
+                vec![g, g2],
+                Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])]),
+            )
             .unwrap();
         n.mark_output(f).unwrap();
-        let params = SdcParams { max_window: 8, ..Default::default() };
+        let params = SdcParams {
+            max_window: 8,
+            ..Default::default()
+        };
         let rewritten = sdc_simplify(&mut n, &params).unwrap();
         assert_eq!(rewritten, 0, "cone wider than the window must be skipped");
     }

@@ -67,23 +67,27 @@ pub struct SisReport {
 ///
 /// # Errors
 /// Propagates network construction errors.
-pub fn script_rugged(net: &Network, params: &SisParams) -> Result<(Network, SisReport), NetworkError> {
+pub fn script_rugged(
+    net: &Network,
+    params: &SisParams,
+) -> Result<(Network, SisReport), NetworkError> {
     let start = Instant::now();
-    let mut work = net.compacted();
+    let mut work = net.compacted()?;
     let mut report = SisReport::default();
-    work.sweep();
-    work.eliminate(&params.eliminate);
-    work.sweep();
+    work.sweep()?;
+    work.eliminate(&params.eliminate)?;
+    work.sweep()?;
     isop_simplify(&mut work, params.isop_simplify_limit)?;
     report.extracted += extract_divisors(&mut work, params)?;
-    work.sweep();
+    work.sweep()?;
     report.resubstituted += resubstitute(&mut work, params)?;
-    work.sweep();
+    work.sweep()?;
     // A second, cheaper extraction round after resubstitution (rugged
     // iterates; two rounds capture most of the benefit).
     report.extracted += extract_divisors(&mut work, params)?;
-    work.sweep();
-    let out = work.compacted();
+    work.sweep()?;
+    let out = work.compacted()?;
+    out.audit()?;
     report.seconds = start.elapsed().as_secs_f64();
     Ok((out, report))
 }
@@ -97,7 +101,9 @@ fn isop_simplify(net: &mut Network, limit: usize) -> Result<usize, NetworkError>
     }
     let mut rewritten = 0;
     for sig in net.node_ids() {
-        let Some((fanins, cover)) = net.node(sig) else { continue };
+        let Some((fanins, cover)) = net.node(sig) else {
+            continue;
+        };
         let fanins = fanins.to_vec();
         let cover = cover.clone();
         if cover.len() < 2 {
@@ -105,17 +111,27 @@ fn isop_simplify(net: &mut Network, limit: usize) -> Result<usize, NetworkError>
         }
         let mut mgr = Manager::with_node_limit(limit);
         let vars = mgr.new_vars(fanins.len());
-        let Ok(edge) = bds_network_cover_to_bdd(&mut mgr, &cover, &vars) else { continue };
-        let Ok((cubes, _)) = mgr.isop(edge, edge) else { continue };
-        let new_cover: Cover = cubes
+        let Ok(edge) = bds_network_cover_to_bdd(&mut mgr, &cover, &vars) else {
+            continue;
+        };
+        let Ok((cubes, _)) = mgr.isop(edge, edge) else {
+            continue;
+        };
+        // ISOP cubes are consistent by construction; skip the node if one
+        // somehow is not, rather than unwinding.
+        let mapped: Option<Vec<Cube>> = cubes
             .iter()
             .map(|c| {
                 Cube::new(
-                    c.literals().iter().map(|&(v, p)| (v.index() as u32, p)).collect(),
+                    c.literals()
+                        .iter()
+                        .map(|&(v, p)| (v.index() as u32, p))
+                        .collect(),
                 )
-                .expect("isop cubes consistent")
             })
             .collect();
+        let Some(mapped) = mapped else { continue };
+        let new_cover = Cover::from_cubes(mapped);
         if new_cover.literal_count() < cover.literal_count() {
             net.replace_node(sig, fanins, new_cover)?;
             rewritten += 1;
@@ -154,25 +170,28 @@ fn translate(cover: &Cover, map: &dyn Fn(u32) -> u32) -> Cover {
     cover
         .cubes()
         .iter()
-        .filter_map(|c| {
-            Cube::new(c.literals().iter().map(|&(v, p)| (map(v), p)).collect())
-        })
+        .filter_map(|c| Cube::new(c.literals().iter().map(|&(v, p)| (map(v), p)).collect()))
         .collect()
 }
 
 /// Installs a signal-space cover back onto a node.
 fn install(net: &mut Network, sig: SignalId, cover: &Cover) -> Result<(), NetworkError> {
     let support = cover.support();
-    let fanins: Vec<SignalId> = support
+    let mut fanins: Vec<SignalId> = Vec::with_capacity(support.len());
+    for &s in &support {
+        let id = net
+            .signals()
+            .nth(s as usize)
+            .ok_or_else(|| NetworkError::UnknownSignal {
+                name: format!("#{s}"),
+            })?;
+        fanins.push(id);
+    }
+    let pos_of: HashMap<u32, u32> = support
         .iter()
-        .map(|&s| {
-            net.signals()
-                .nth(s as usize)
-                .expect("signal indices are stable")
-        })
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
         .collect();
-    let pos_of: HashMap<u32, u32> =
-        support.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
     let local = translate(cover, &|s| pos_of[&s]);
     net.replace_node(sig, fanins, local)
 }
@@ -191,7 +210,9 @@ fn extract_divisors(net: &mut Network, params: &SisParams) -> Result<usize, Netw
         let mut candidates: HashMap<Vec<Cube>, Cover> = HashMap::new();
         let node_ids = net.node_ids();
         for &sig in &node_ids {
-            let Some(cover) = signal_cover(net, sig) else { continue };
+            let Some(cover) = signal_cover(net, sig) else {
+                continue;
+            };
             if cover.len() < 2 || cover.len() > params.kernel_cube_limit {
                 continue;
             }
@@ -232,31 +253,41 @@ fn extract_divisors(net: &mut Network, params: &SisParams) -> Result<usize, Netw
                 if div.quotient.is_empty() {
                     continue;
                 }
-                let new_lits =
-                    div.quotient.literal_count() + div.quotient.len() + div.remainder.literal_count();
+                let new_lits = div.quotient.literal_count()
+                    + div.quotient.len()
+                    + div.remainder.literal_count();
                 let saving = cover.literal_count() as isize - new_lits as isize;
                 if saving > 0 {
                     total += saving;
                     rewrites.push((sig, cover));
                 }
             }
-            if rewrites.len() >= 2
-                && total > 0
-                && best.as_ref().is_none_or(|&(_, t, _)| total > t)
+            if rewrites.len() >= 2 && total > 0 && best.as_ref().is_none_or(|&(_, t, _)| total > t)
             {
                 best = Some((divisor, total, rewrites));
             }
         }
-        let Some((divisor, _, rewrites)) = best else { break };
+        let Some((divisor, _, rewrites)) = best else {
+            break;
+        };
         // Materialize the divisor node.
         let name = net.fresh_name("sis");
         let support = divisor.support();
-        let fanins: Vec<SignalId> = support
+        let mut fanins: Vec<SignalId> = Vec::with_capacity(support.len());
+        for &s in &support {
+            let id = net
+                .signals()
+                .nth(s as usize)
+                .ok_or_else(|| NetworkError::UnknownSignal {
+                    name: format!("#{s}"),
+                })?;
+            fanins.push(id);
+        }
+        let pos_of: HashMap<u32, u32> = support
             .iter()
-            .map(|&s| net.signals().nth(s as usize).expect("stable ids"))
+            .enumerate()
+            .map(|(i, &s)| (s, i as u32))
             .collect();
-        let pos_of: HashMap<u32, u32> =
-            support.iter().enumerate().map(|(i, &s)| (s, i as u32)).collect();
         let local = translate(&divisor, &|s| pos_of[&s]);
         let dsig = net.add_node(name, fanins, local)?;
         // Rewrite the beneficiaries: f = q·d + r in signal space, where
@@ -289,7 +320,9 @@ fn resubstitute(net: &mut Network, params: &SisParams) -> Result<usize, NetworkE
             }
         }
         for &sig in &node_ids {
-            let Some(cover) = signal_cover(net, sig) else { continue };
+            let Some(cover) = signal_cover(net, sig) else {
+                continue;
+            };
             let mut best: Option<(SignalId, Cover, isize)> = None;
             for (d, dcover) in &divisors {
                 if *d == sig {
@@ -348,10 +381,18 @@ mod tests {
             ])
         };
         let f = n
-            .add_node("f", vec![sigs[0], sigs[1], sigs[2], sigs[3], sigs[4]], cover(4))
+            .add_node(
+                "f",
+                vec![sigs[0], sigs[1], sigs[2], sigs[3], sigs[4]],
+                cover(4),
+            )
             .unwrap();
         let g = n
-            .add_node("g", vec![sigs[0], sigs[1], sigs[2], sigs[3], sigs[5]], cover(4))
+            .add_node(
+                "g",
+                vec![sigs[0], sigs[1], sigs[2], sigs[3], sigs[5]],
+                cover(4),
+            )
             .unwrap();
         n.mark_output(f).unwrap();
         n.mark_output(g).unwrap();
@@ -373,8 +414,9 @@ mod tests {
     fn rugged_is_sound_on_mixed_logic() {
         // A small random-ish mixed network.
         let mut n = Network::new("mix");
-        let sigs: Vec<SignalId> =
-            (0..5).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+        let sigs: Vec<SignalId> = (0..5)
+            .map(|i| n.add_input(format!("i{i}")).unwrap())
+            .collect();
         let c1 = Cover::from_cubes(vec![
             Cube::parse(&[(0, true), (1, false)]),
             Cube::parse(&[(2, true), (3, true)]),

@@ -40,6 +40,7 @@ pub fn generalized_x_dominators(mgr: &Manager, f: Edge) -> Vec<Edge> {
         if e.is_const() || !seen.insert(e) {
             continue;
         }
+        // lint:allow(panic) — guarded: constants are skipped above
         let (_, high, low) = mgr.node_raw(e).expect("non-const");
         mark(high);
         mark(low);
@@ -123,7 +124,10 @@ mod tests {
         let f = m.xnor(x14, right).unwrap();
 
         let doms = generalized_x_dominators(&m, f);
-        assert!(!doms.is_empty(), "rnd4-1 must expose generalized x-dominators");
+        assert!(
+            !doms.is_empty(),
+            "rnd4-1 must expose generalized x-dominators"
+        );
         let fsize = m.size(f);
         let best = best_xnor_decomposition(&mut m, f, fsize).unwrap();
         let d = best.expect("a beneficial XNOR decomposition exists");

@@ -64,7 +64,10 @@ fn forest_to_bdd(
 fn check_exact(mgr: &mut Manager, forest: &FactorForest, root: FactorRef, f: Edge) {
     let mut memo = HashMap::new();
     let rebuilt = forest_to_bdd(mgr, forest, root, &mut memo);
-    assert_eq!(rebuilt, f, "factoring tree must rebuild to the same canonical BDD");
+    assert_eq!(
+        rebuilt, f,
+        "factoring tree must rebuild to the same canonical BDD"
+    );
 }
 
 /// A 24-variable mixed function: too big for exhaustive checking, easy
@@ -120,8 +123,13 @@ fn every_single_method_priority_is_sound_at_scale() {
         let f = big_mixed(&mut mgr, 8); // 16 variables
         let mut forest = FactorForest::new();
         let mut dec = Decomposer::new();
-        let params = DecomposeParams { priority: vec![only], ..Default::default() };
-        let root = dec.decompose(&mut mgr, f, &mut forest, &params).expect("unlimited");
+        let params = DecomposeParams {
+            priority: vec![only],
+            ..Default::default()
+        };
+        let root = dec
+            .decompose(&mut mgr, f, &mut forest, &params)
+            .expect("unlimited");
         check_exact(&mut mgr, &forest, root, f);
     }
 }
@@ -152,7 +160,11 @@ fn adder_msb_decomposes_exactly() {
         .decompose(&mut mgr, carry, &mut forest, &DecomposeParams::default())
         .expect("unlimited");
     check_exact(&mut mgr, &forest, root, carry);
-    assert_eq!(dec.stats.shannon, 0, "carry chains decompose structurally: {:?}", dec.stats);
+    assert_eq!(
+        dec.stats.shannon, 0,
+        "carry chains decompose structurally: {:?}",
+        dec.stats
+    );
 }
 
 #[test]
@@ -184,7 +196,10 @@ fn shared_outputs_rebuild_exactly() {
     let params = DecomposeParams::default();
     let roots: Vec<FactorRef> = outputs
         .iter()
-        .map(|&f| dec.decompose(&mut mgr, f, &mut forest, &params).expect("unlimited"))
+        .map(|&f| {
+            dec.decompose(&mut mgr, f, &mut forest, &params)
+                .expect("unlimited")
+        })
         .collect();
     for (f, r) in outputs.iter().zip(&roots) {
         check_exact(&mut mgr, &forest, *r, *f);

@@ -3,10 +3,10 @@
 //! balancing. Runtime is measured here; the `ablation` binary reports
 //! the quality side (literals/gates).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bds::decompose::{DecomposeParams, Decomposer, Method};
 use bds::factor_tree::FactorForest;
 use bds_bdd::{Edge, Manager};
+use bds_bench::timing::bench;
 
 /// A mixed AND/XOR function that exercises every decomposition method.
 fn mixed_function(n: usize) -> (Manager, Edge) {
@@ -50,22 +50,15 @@ fn params_variants() -> Vec<(&'static str, DecomposeParams)> {
     ]
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_decompose");
-    group.sample_size(10);
+fn main() {
+    println!("== ablation_decompose ==");
     for (name, params) in params_variants() {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &params, |b, params| {
-            b.iter(|| {
-                let (mut m, f) = mixed_function(6);
-                let mut forest = FactorForest::new();
-                let mut dec = Decomposer::new();
-                let root = dec.decompose(&mut m, f, &mut forest, params).expect("ok");
-                std::hint::black_box(forest.literal_count(root));
-            });
+        bench(&format!("ablation_decompose/{name}"), || {
+            let (mut m, f) = mixed_function(6);
+            let mut forest = FactorForest::new();
+            let mut dec = Decomposer::new();
+            let root = dec.decompose(&mut m, f, &mut forest, &params).expect("ok");
+            forest.literal_count(root)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

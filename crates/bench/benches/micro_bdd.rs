@@ -1,9 +1,9 @@
 //! Micro-benchmarks of the BDD substrate: ITE throughput, restrict,
 //! ISOP extraction and rebuild-based sifting on parametric functions.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bds_bdd::reorder::{sift, SiftLimits};
 use bds_bdd::{Edge, Manager};
+use bds_bench::timing::bench;
 
 /// Builds the order-sensitive function Σ aᵢ·bᵢ with the bad monolithic
 /// order (all a's above all b's).
@@ -21,46 +21,33 @@ fn interleaving_victim(pairs: usize) -> (Manager, Edge) {
     (m, f)
 }
 
-fn bench_ite(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ite_build");
+fn main() {
+    println!("== micro_bdd ==");
     for &n in &[8usize, 12, 16] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, &n| {
-            bch.iter(|| {
-                let (m, f) = interleaving_victim(n);
-                std::hint::black_box((m.size(f), f));
-            });
+        bench(&format!("ite_build/{n}"), || {
+            let (m, f) = interleaving_victim(n);
+            (m.size(f), f)
         });
     }
-    group.finish();
-}
-
-fn bench_restrict(c: &mut Criterion) {
-    c.bench_function("restrict_quotient", |b| {
+    {
         let (mut m, f) = interleaving_victim(8);
         let vars = m.order();
         let l0 = m.literal(vars[0], true);
         let l8 = m.literal(vars[8], true);
         let care = m.or(l0, l8).expect("unlimited");
-        b.iter(|| std::hint::black_box(m.restrict(f, care).expect("unlimited")));
-    });
-}
-
-fn bench_isop(c: &mut Criterion) {
-    c.bench_function("isop_extract", |b| {
-        let (mut m, f) = interleaving_victim(6);
-        b.iter(|| std::hint::black_box(m.isop(f, f).expect("unlimited").0.len()));
-    });
-}
-
-fn bench_sift(c: &mut Criterion) {
-    c.bench_function("sift_interleaving_victim", |b| {
-        let (m, f) = interleaving_victim(6);
-        b.iter(|| {
-            let (m2, r) = sift(&m, &[f], SiftLimits::default()).expect("unlimited");
-            std::hint::black_box(m2.size(r[0]));
+        bench("restrict_quotient", || {
+            m.restrict(f, care).expect("unlimited")
         });
-    });
+    }
+    {
+        let (mut m, f) = interleaving_victim(6);
+        bench("isop_extract", || m.isop(f, f).expect("unlimited").0.len());
+    }
+    {
+        let (m, f) = interleaving_victim(6);
+        bench("sift_interleaving_victim", || {
+            let (m2, r) = sift(&m, &[f], SiftLimits::default()).expect("unlimited");
+            m2.size(r[0])
+        });
+    }
 }
-
-criterion_group!(benches, bench_ite, bench_restrict, bench_isop, bench_sift);
-criterion_main!(benches);

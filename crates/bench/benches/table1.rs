@@ -1,10 +1,10 @@
-//! Criterion wrapper over the Table-I experiment: times the BDS flow and
+//! Timing wrapper over the Table-I experiment: times the BDS flow and
 //! the SIS-style baseline on representative (small) Table-I circuits.
 //! The full table with all columns is printed by the `table1` binary.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bds::flow::{optimize, FlowParams};
 use bds::sis_flow::{script_rugged, SisParams};
+use bds_bench::timing::bench;
 use bds_circuits::alu::alu;
 use bds_circuits::ecc::hamming_encoder;
 use bds_circuits::random_logic::{random_logic, RandomLogicParams};
@@ -17,26 +17,26 @@ fn circuits() -> Vec<(&'static str, Network)> {
         (
             "ctrl14/C432",
             random_logic(
-                &RandomLogicParams { inputs: 14, outputs: 6, nodes: 30, ..Default::default() },
+                &RandomLogicParams {
+                    inputs: 14,
+                    outputs: 6,
+                    nodes: 30,
+                    ..Default::default()
+                },
                 42,
             ),
         ),
     ]
 }
 
-fn bench_flows(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1");
-    group.sample_size(10);
+fn main() {
+    println!("== table1 ==");
     for (name, net) in circuits() {
-        group.bench_with_input(BenchmarkId::new("bds", name), &net, |b, net| {
-            b.iter(|| optimize(net, &FlowParams::default()).expect("flow"));
+        bench(&format!("table1/bds/{name}"), || {
+            optimize(&net, &FlowParams::default()).expect("flow")
         });
-        group.bench_with_input(BenchmarkId::new("sis", name), &net, |b, net| {
-            b.iter(|| script_rugged(net, &SisParams::default()).expect("flow"));
+        bench(&format!("table1/sis/{name}"), || {
+            script_rugged(&net, &SisParams::default()).expect("flow")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_flows);
-criterion_main!(benches);

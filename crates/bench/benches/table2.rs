@@ -1,42 +1,31 @@
-//! Criterion wrapper over the Table-II experiment: BDS vs baseline
-//! runtime on the arithmetic scaling workloads (small sizes; the binary
-//! prints the full table and takes size overrides from the environment).
+//! Timing wrapper over the Table-II experiment: BDS vs baseline runtime
+//! on the arithmetic scaling workloads (small sizes; the binary prints
+//! the full table and takes size overrides from the environment).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use bds::flow::{optimize, FlowParams};
 use bds::sis_flow::{script_rugged, SisParams};
+use bds_bench::timing::bench;
 use bds_circuits::multiplier::multiplier;
 use bds_circuits::shifter::barrel_shifter;
 
-fn bench_shifters(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_bshift");
-    group.sample_size(10);
+fn main() {
+    println!("== table2 ==");
     for &w in &[16usize, 32] {
         let net = barrel_shifter(w);
-        group.bench_with_input(BenchmarkId::new("bds", w), &net, |b, net| {
-            b.iter(|| optimize(net, &FlowParams::default()).expect("flow"));
+        bench(&format!("table2_bshift/bds/{w}"), || {
+            optimize(&net, &FlowParams::default()).expect("flow")
         });
-        group.bench_with_input(BenchmarkId::new("sis", w), &net, |b, net| {
-            b.iter(|| script_rugged(net, &SisParams::default()).expect("flow"));
+        bench(&format!("table2_bshift/sis/{w}"), || {
+            script_rugged(&net, &SisParams::default()).expect("flow")
         });
     }
-    group.finish();
-}
-
-fn bench_multipliers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_mult");
-    group.sample_size(10);
     for &n in &[2usize, 4] {
         let net = multiplier(n, n);
-        group.bench_with_input(BenchmarkId::new("bds", n), &net, |b, net| {
-            b.iter(|| optimize(net, &FlowParams::default()).expect("flow"));
+        bench(&format!("table2_mult/bds/{n}"), || {
+            optimize(&net, &FlowParams::default()).expect("flow")
         });
-        group.bench_with_input(BenchmarkId::new("sis", n), &net, |b, net| {
-            b.iter(|| script_rugged(net, &SisParams::default()).expect("flow"));
+        bench(&format!("table2_mult/sis/{n}"), || {
+            script_rugged(&net, &SisParams::default()).expect("flow")
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_shifters, bench_multipliers);
-criterion_main!(benches);

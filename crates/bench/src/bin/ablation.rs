@@ -9,8 +9,8 @@
 //! Usage: `cargo run -p bds-bench --release --bin ablation`
 
 use bds::decompose::{DecomposeParams, Method};
-use bds::sdc::{sdc_simplify, SdcParams};
 use bds::flow::{optimize, optimize_global, FlowParams};
+use bds::sdc::{sdc_simplify, SdcParams};
 use bds_circuits::adder::ripple_adder;
 use bds_circuits::alu::alu;
 use bds_circuits::comparator::comparator;
@@ -62,7 +62,12 @@ fn suite() -> Vec<(&'static str, Network)> {
         (
             "rand12",
             random_logic(
-                &RandomLogicParams { inputs: 12, outputs: 6, nodes: 40, ..Default::default() },
+                &RandomLogicParams {
+                    inputs: 12,
+                    outputs: 6,
+                    nodes: 40,
+                    ..Default::default()
+                },
                 5,
             ),
         ),
@@ -77,7 +82,10 @@ fn main() {
         "variant", "area", "gates", "cpu[s]"
     );
     for (name, dparams) in variants() {
-        let params = FlowParams { decompose: dparams, ..FlowParams::default() };
+        let params = FlowParams {
+            decompose: dparams,
+            ..FlowParams::default()
+        };
         let mut area = 0.0;
         let mut gates = 0usize;
         let mut cpu = 0.0;
@@ -85,15 +93,15 @@ fn main() {
         for (cname, net) in &suite {
             // Force global mode where possible so variant differences are
             // not masked by the flow portfolio; fall back otherwise.
-            let mut swept = net.compacted();
-            swept.sweep();
+            let mut swept = net.compacted().expect("compact");
+            swept.sweep().expect("sweep");
             let (mut out, rep) = optimize_global(&swept, &params)
                 .or_else(|_| optimize(net, &params))
                 .expect("flow");
             if name == "paper+sdc" {
                 let _ = sdc_simplify(&mut out, &SdcParams::default());
-                out.sweep();
-                out = out.compacted();
+                out.sweep().expect("sweep");
+                out = out.compacted().expect("compact");
             }
             let m = map_network(&out, &lib).expect("map");
             area += m.area;

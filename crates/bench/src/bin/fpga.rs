@@ -31,7 +31,12 @@ fn main() {
         (
             "rand14",
             random_logic(
-                &RandomLogicParams { inputs: 14, outputs: 8, nodes: 45, ..Default::default() },
+                &RandomLogicParams {
+                    inputs: 14,
+                    outputs: 8,
+                    nodes: 45,
+                    ..Default::default()
+                },
                 77,
             ),
         ),

@@ -36,10 +36,14 @@ fn main() {
     println!("family,size,nodes,sis_cpu_s,bds_cpu_s,speedup");
     let mut families: Vec<Family> = vec![
         ("bshift", Box::new(barrel_shifter), vec![8, 16, 32, 64, 128]),
-        ("mult", Box::new(|n| multiplier(n, n)), vec![2, 4, 8, 12, 16]),
+        (
+            "mult",
+            Box::new(|n| multiplier(n, n)),
+            vec![2, 4, 8, 12, 16],
+        ),
         ("adder", Box::new(ripple_adder), vec![8, 16, 32, 64, 128]),
     ];
-    for (name, gen, sizes) in families.iter_mut() {
+    for (name, gen, sizes) in &mut families {
         for &size in sizes.iter() {
             let net = gen(size);
             let nodes = net.stats().nodes;

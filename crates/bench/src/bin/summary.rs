@@ -27,7 +27,10 @@ fn class_summary(title: &str, rows: &[Row], paper_claim: &str) {
     print_rows(title, rows);
     let gates = geomean(rows.iter().map(|r| r.bds.gates as f64 / r.sis.gates as f64));
     let area = geomean(rows.iter().map(|r| r.bds.area / r.sis.area));
-    let lits = geomean(rows.iter().map(|r| r.bds.literals as f64 / r.sis.literals as f64));
+    let lits = geomean(
+        rows.iter()
+            .map(|r| r.bds.literals as f64 / r.sis.literals as f64),
+    );
     let cpu = geomean(rows.iter().map(|r| r.bds.seconds / r.sis.seconds));
     println!("geo-mean BDS/SIS ratios:");
     println!(
@@ -47,7 +50,12 @@ fn main() {
     let mut ctrl_rows = Vec::new();
     for seed in 0..10u64 {
         let net = random_logic(
-            &RandomLogicParams { inputs: 14, outputs: 8, nodes: 45, ..Default::default() },
+            &RandomLogicParams {
+                inputs: 14,
+                outputs: 8,
+                nodes: 45,
+                ..Default::default()
+            },
             1000 + seed,
         );
         ctrl_rows.push(run(format!("rand{seed}"), &net));
@@ -72,8 +80,7 @@ fn main() {
         ("popcount9".into(), popcount(9)),
         ("g2b10".into(), gray_to_bin(10)),
     ];
-    let arith_rows: Vec<Row> =
-        arith.iter().map(|(n, net)| run(n.clone(), net)).collect();
+    let arith_rows: Vec<Row> = arith.iter().map(|(n, net)| run(n.clone(), net)).collect();
     class_summary(
         "S2 — XOR-intensive / arithmetic class",
         &arith_rows,

@@ -22,7 +22,12 @@ fn workloads(fast: bool) -> Vec<(String, &'static str, Network)> {
     let k = if fast { 1 } else { 2 };
     let rl = |inputs, outputs, nodes, seed| {
         random_logic(
-            &RandomLogicParams { inputs, outputs, nodes, ..Default::default() },
+            &RandomLogicParams {
+                inputs,
+                outputs,
+                nodes,
+                ..Default::default()
+            },
             seed,
         )
     };
@@ -34,14 +39,14 @@ fn workloads(fast: bool) -> Vec<(String, &'static str, Network)> {
         ("alu16".into(), "C3540", alu(16)),
         ("csel16".into(), "pair", carry_select_adder(16, 4)),
         ("cmp16".into(), "rot", comparator(16)),
-        (
-            "mult8".into(),
-            "C6288",
-            multiplier(4 * k, 4 * k),
-        ),
+        ("mult8".into(), "C6288", multiplier(4 * k, 4 * k)),
         ("ctrl20".into(), "vda", rl(20, 12, 50 * k, 7)),
         ("ctrl24".into(), "dalu", rl(24, 16, 60 * k, 13)),
-        ("shift32".into(), "-", barrel_shifter(if fast { 16 } else { 32 })),
+        (
+            "shift32".into(),
+            "-",
+            barrel_shifter(if fast { 16 } else { 32 }),
+        ),
         ("parity16".into(), "-", parity_tree(16)),
     ]
 }

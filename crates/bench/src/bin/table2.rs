@@ -17,7 +17,10 @@ use bds_circuits::multiplier::multiplier;
 use bds_circuits::shifter::barrel_shifter;
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn main() {

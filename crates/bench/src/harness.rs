@@ -2,6 +2,9 @@
 //! circuit, map both with the same library, verify both against the
 //! original, and render paper-style table rows.
 
+// lint:allow-file(panic): benchmark setup aborts loudly on broken fixtures by design
+// lint:allow-file(print): rendering result tables to stdout is this module's purpose
+
 use bds::flow::{optimize, FlowParams};
 use bds::sis_flow::{script_rugged, SisParams};
 use bds_map::{map_network, Library, MappedNetlist};
@@ -122,8 +125,18 @@ pub fn print_rows(title: &str, rows: &[Row]) {
     println!("== {title} ==");
     println!(
         "{:<14} {:<10} | {:>6} {:>9} {:>7} {:>8} | {:>6} {:>9} {:>7} {:>8} | {:>8} {:>6}",
-        "circuit", "stands for", "gates", "area", "delay", "cpu[s]", "gates", "area", "delay",
-        "cpu[s]", "speedup", "verify"
+        "circuit",
+        "stands for",
+        "gates",
+        "area",
+        "delay",
+        "cpu[s]",
+        "gates",
+        "area",
+        "delay",
+        "cpu[s]",
+        "speedup",
+        "verify"
     );
     println!(
         "{:<14} {:<10} | {:>41} | {:>41} |",
@@ -167,7 +180,11 @@ pub fn print_rows(title: &str, rows: &[Row]) {
         totals.5,
         totals.6,
         totals.7,
-        if totals.7 > 0.0 { totals.3 / totals.7 } else { f64::INFINITY },
+        if totals.7 > 0.0 {
+            totals.3 / totals.7
+        } else {
+            f64::INFINITY
+        },
     );
 }
 

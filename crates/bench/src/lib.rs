@@ -3,3 +3,4 @@
 //! this library only hosts utilities they share.
 #![forbid(unsafe_code)]
 pub mod harness;
+pub mod timing;

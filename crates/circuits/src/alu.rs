@@ -60,11 +60,7 @@ mod tests {
                     };
                     #[allow(clippy::needless_range_loop)] // `i` is the bit position under test
                     for i in 0..bits {
-                        assert_eq!(
-                            out[i],
-                            want >> i & 1 == 1,
-                            "op {op} bit {i} of {av},{bv}"
-                        );
+                        assert_eq!(out[i], want >> i & 1 == 1, "op {op} bit {i} of {av},{bv}");
                     }
                     if op == 0 {
                         assert_eq!(out[bits], want >> bits & 1 == 1, "cout of {av}+{bv}");

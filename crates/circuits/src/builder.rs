@@ -1,5 +1,7 @@
 //! A small gate-level network builder shared by all generators.
 
+// lint:allow-file(panic): generator builders drive an unlimited manager; node creation cannot fail
+
 use bds_network::{Network, SignalId};
 use bds_sop::{Cover, Cube};
 
@@ -16,12 +18,16 @@ pub struct Builder {
 impl Builder {
     /// Starts a new network named `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        Builder { net: Network::new(name) }
+        Builder {
+            net: Network::new(name),
+        }
     }
 
     /// Declares a primary input.
     pub fn input(&mut self, name: impl Into<String>) -> SignalId {
-        self.net.add_input(name).expect("generator names are unique")
+        self.net
+            .add_input(name)
+            .expect("generator names are unique")
     }
 
     /// Declares `n` inputs named `{prefix}{i}`.
@@ -110,19 +116,19 @@ impl Builder {
 
     /// Balanced n-ary AND.
     pub fn and_n(&mut self, xs: &[SignalId]) -> SignalId {
-        self.reduce(xs, |b, x, y| b.and2(x, y), true)
+        self.reduce(xs, Builder::and2, true)
     }
 
     /// Balanced n-ary OR.
     pub fn or_n(&mut self, xs: &[SignalId]) -> SignalId {
-        self.reduce(xs, |b, x, y| b.or2(x, y), false)
+        self.reduce(xs, Builder::or2, false)
     }
 
     /// Balanced n-ary XOR.
     pub fn xor_n(&mut self, xs: &[SignalId]) -> SignalId {
         match xs.len() {
             0 => self.constant(false),
-            _ => self.reduce(xs, |b, x, y| b.xor2(x, y), false),
+            _ => self.reduce(xs, Builder::xor2, false),
         }
     }
 
@@ -145,12 +151,7 @@ impl Builder {
     }
 
     /// Full adder: returns `(sum, carry)`.
-    pub fn full_adder(
-        &mut self,
-        a: SignalId,
-        b: SignalId,
-        cin: SignalId,
-    ) -> (SignalId, SignalId) {
+    pub fn full_adder(&mut self, a: SignalId, b: SignalId, cin: SignalId) -> (SignalId, SignalId) {
         let axb = self.xor2(a, b);
         let sum = self.xor2(axb, cin);
         let t1 = self.and2(a, b);

@@ -3,6 +3,8 @@
 //! manager, the function(s) of interest and a short description — used
 //! by the `paper_figures` example and the figure-reproduction tests.
 
+// lint:allow-file(panic): fixed-size paper-figure circuits on an unlimited manager; node creation cannot fail
+
 use bds_bdd::{Edge, Manager};
 
 /// A constructed figure example.
@@ -163,7 +165,11 @@ pub fn fig8() -> Figure {
     let q = m.new_var("q");
     let x = m.new_var("x");
     let y = m.new_var("y");
-    let (lu, lr, lq) = (m.literal(u, false), m.literal(r, false), m.literal(q, false));
+    let (lu, lr, lq) = (
+        m.literal(u, false),
+        m.literal(r, false),
+        m.literal(q, false),
+    );
     let (lx, ly) = (m.literal(x, true), m.literal(y, true));
     let xy = m.or(lx, ly).expect("unlimited");
     let t = m.or(lu, lr).expect("unlimited");
@@ -277,7 +283,11 @@ mod tests {
     fn figures_are_nontrivial() {
         for fig in all_figures() {
             for &f in &fig.functions {
-                assert!(!f.is_const(), "{}: function must be non-constant", fig.label);
+                assert!(
+                    !f.is_const(),
+                    "{}: function must be non-constant",
+                    fig.label
+                );
                 assert!(fig.manager.size(f) >= 3, "{}: too small", fig.label);
             }
         }

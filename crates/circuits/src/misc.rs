@@ -2,6 +2,8 @@
 //! priority encoder, population count and Gray-code converters — used to
 //! widen the evaluation suites beyond the paper's core workloads.
 
+// lint:allow-file(panic): fixed-size generator circuits on an unlimited manager; node creation cannot fail
+
 use bds_network::Network;
 
 use crate::builder::Builder;
@@ -166,14 +168,20 @@ mod tests {
         // Same interface names ⇒ BDD equivalence check directly.
         let cla = carry_lookahead_adder(5);
         let ripple = ripple_adder(5);
-        assert_eq!(verify(&cla, &ripple, 1_000_000).unwrap(), Verdict::Equivalent);
+        assert_eq!(
+            verify(&cla, &ripple, 1_000_000).unwrap(),
+            Verdict::Equivalent
+        );
     }
 
     #[test]
     fn cla_is_shallower_than_ripple() {
         let c = carry_lookahead_adder(12).stats();
         let r = ripple_adder(12).stats();
-        assert!(c.depth < r.depth, "lookahead must cut depth: {c:?} vs {r:?}");
+        assert!(
+            c.depth < r.depth,
+            "lookahead must cut depth: {c:?} vs {r:?}"
+        );
         assert!(c.nodes > r.nodes, "…at an area cost");
     }
 

@@ -1,6 +1,8 @@
 //! Array multipliers — the paper's `m2x2 … m64x64` workloads (Table II);
 //! `m16x16` is also the structural class of ISCAS'85 C6288.
 
+// lint:allow-file(panic): fixed-size generator circuits on an unlimited manager; node creation cannot fail
+
 use bds_network::Network;
 
 use crate::builder::Builder;
@@ -96,6 +98,9 @@ mod tests {
     fn size_grows_quadratically() {
         let s4 = multiplier(4, 4).stats().nodes;
         let s8 = multiplier(8, 8).stats().nodes;
-        assert!(s8 > 3 * s4, "array multiplier area is quadratic: {s4} vs {s8}");
+        assert!(
+            s8 > 3 * s4,
+            "array multiplier area is quadratic: {s4} vs {s8}"
+        );
     }
 }

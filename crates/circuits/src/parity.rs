@@ -46,6 +46,9 @@ mod tests {
     fn tree_is_shallower() {
         let t = parity_tree(16).stats();
         let c = parity_chain(16).stats();
-        assert!(t.depth < c.depth, "balanced tree beats chain: {t:?} vs {c:?}");
+        assert!(
+            t.depth < c.depth,
+            "balanced tree beats chain: {t:?} vs {c:?}"
+        );
     }
 }

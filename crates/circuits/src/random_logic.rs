@@ -1,10 +1,11 @@
 //! Seeded random control logic — the paper's AND/OR-intensive "random
 //! logic" class.
 
+// lint:allow-file(panic): generator circuits on an unlimited manager; node creation cannot fail
+
 use bds_network::{Network, SignalId};
+use bds_prop::Rng;
 use bds_sop::{Cover, Cube};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Parameters for [`random_logic`].
 #[derive(Copy, Clone, Debug)]
@@ -23,45 +24,51 @@ pub struct RandomLogicParams {
 
 impl Default for RandomLogicParams {
     fn default() -> Self {
-        RandomLogicParams { inputs: 16, outputs: 8, nodes: 60, max_fanin: 4, max_cubes: 4 }
+        RandomLogicParams {
+            inputs: 16,
+            outputs: 8,
+            nodes: 60,
+            max_fanin: 4,
+            max_cubes: 4,
+        }
     }
 }
 
 /// Generates a seeded random multi-level AND/OR-style network. The same
 /// seed always yields the same circuit, so experiments are reproducible.
 pub fn random_logic(params: &RandomLogicParams, seed: u64) -> Network {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut net = Network::new(format!("rand{}_{seed}", params.inputs));
     let mut pool: Vec<SignalId> = (0..params.inputs)
         .map(|i| net.add_input(format!("i{i}")).expect("unique"))
         .collect();
     for k in 0..params.nodes {
-        let fanin_count = rng.gen_range(2..=params.max_fanin.min(pool.len()));
+        let fanin_count = rng.range_usize(2..params.max_fanin.min(pool.len()) + 1);
         // Bias toward recent signals to get depth.
         let mut fanins: Vec<SignalId> = Vec::new();
         while fanins.len() < fanin_count {
-            let idx = if rng.gen_bool(0.5) && pool.len() > 8 {
-                rng.gen_range(pool.len() - 8..pool.len())
+            let idx = if rng.bool() && pool.len() > 8 {
+                rng.range_usize(pool.len() - 8..pool.len())
             } else {
-                rng.gen_range(0..pool.len())
+                rng.range_usize(0..pool.len())
             };
             if !fanins.contains(&pool[idx]) {
                 fanins.push(pool[idx]);
             }
         }
-        let n_cubes = rng.gen_range(1..=params.max_cubes);
+        let n_cubes = rng.range_usize(1..params.max_cubes + 1);
         let mut cubes = Vec::new();
         for _ in 0..n_cubes {
             let mut lits = Vec::new();
             for (pos, _) in fanins.iter().enumerate() {
-                match rng.gen_range(0..3u32) {
+                match rng.range_u32(0..3) {
                     0 => lits.push((pos as u32, true)),
                     1 => lits.push((pos as u32, false)),
                     _ => {}
                 }
             }
             if lits.is_empty() {
-                lits.push((0, rng.gen_bool(0.5)));
+                lits.push((0, rng.bool()));
             }
             cubes.push(Cube::new(lits).expect("positions are distinct"));
         }
@@ -102,7 +109,12 @@ mod tests {
 
     #[test]
     fn shape_matches_params() {
-        let p = RandomLogicParams { inputs: 10, outputs: 4, nodes: 30, ..Default::default() };
+        let p = RandomLogicParams {
+            inputs: 10,
+            outputs: 4,
+            nodes: 30,
+            ..Default::default()
+        };
         let net = random_logic(&p, 3);
         assert_eq!(net.inputs().len(), 10);
         assert_eq!(net.outputs().len(), 4);

@@ -14,7 +14,10 @@ use crate::builder::Builder;
 /// # Panics
 /// Panics unless `width` is a power of two ≥ 2.
 pub fn barrel_shifter(width: usize) -> Network {
-    assert!(width >= 2 && width.is_power_of_two(), "width must be a power of two");
+    assert!(
+        width >= 2 && width.is_power_of_two(),
+        "width must be a power of two"
+    );
     let stages = width.trailing_zeros() as usize;
     let mut b = Builder::new(format!("bshift{width}"));
     let data = b.inputs("d", width);
@@ -43,7 +46,10 @@ pub fn barrel_shifter(width: usize) -> Network {
 /// # Panics
 /// Panics unless `width` is a power of two ≥ 2.
 pub fn logical_shifter(width: usize) -> Network {
-    assert!(width >= 2 && width.is_power_of_two(), "width must be a power of two");
+    assert!(
+        width >= 2 && width.is_power_of_two(),
+        "width must be a power of two"
+    );
     let stages = width.trailing_zeros() as usize;
     let mut b = Builder::new(format!("lshift{width}"));
     let data = b.inputs("d", width);

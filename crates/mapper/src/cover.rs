@@ -50,7 +50,7 @@ pub enum MapGoal {
 /// Propagates [`NetworkError`] from technology decomposition.
 pub fn map_network(net: &Network, lib: &Library) -> Result<MappedNetlist, NetworkError> {
     let subject = Subject::from_network(net)?;
-    Ok(map_subject_with(&subject, lib, MapGoal::Area))
+    map_subject_with(&subject, lib, MapGoal::Area)
 }
 
 /// Like [`map_network`] but minimizing delay (area as tie-break).
@@ -59,16 +59,28 @@ pub fn map_network(net: &Network, lib: &Library) -> Result<MappedNetlist, Networ
 /// Propagates [`NetworkError`] from technology decomposition.
 pub fn map_network_delay(net: &Network, lib: &Library) -> Result<MappedNetlist, NetworkError> {
     let subject = Subject::from_network(net)?;
-    Ok(map_subject_with(&subject, lib, MapGoal::Delay))
+    map_subject_with(&subject, lib, MapGoal::Delay)
 }
 
 /// Maps an already-built subject graph for minimum area.
-pub fn map_subject(subject: &Subject, lib: &Library) -> MappedNetlist {
+///
+/// # Errors
+/// [`NetworkError::Inconsistent`] if some subject node is covered by no
+/// library gate (a library without the INV/NAND2 primitives).
+pub fn map_subject(subject: &Subject, lib: &Library) -> Result<MappedNetlist, NetworkError> {
     map_subject_with(subject, lib, MapGoal::Area)
 }
 
 /// Maps an already-built subject graph under the given goal.
-pub fn map_subject_with(subject: &Subject, lib: &Library, goal: MapGoal) -> MappedNetlist {
+///
+/// # Errors
+/// [`NetworkError::Inconsistent`] if some subject node is covered by no
+/// library gate (a library without the INV/NAND2 primitives).
+pub fn map_subject_with(
+    subject: &Subject,
+    lib: &Library,
+    goal: MapGoal,
+) -> Result<MappedNetlist, NetworkError> {
     let nodes = subject.nodes();
     // Fanout counts (outputs add one reference each).
     let mut fanout = vec![0usize; nodes.len()];
@@ -96,8 +108,7 @@ pub fn map_subject_with(subject: &Subject, lib: &Library, goal: MapGoal) -> Mapp
         leaves: Vec<u32>,
     }
     let mut best: Vec<Option<Choice>> = vec![None; nodes.len()];
-    let is_leaf_kind =
-        |i: u32| matches!(nodes[i as usize], SNode::Pi(_) | SNode::Const(_));
+    let is_leaf_kind = |i: u32| matches!(nodes[i as usize], SNode::Pi(_) | SNode::Const(_));
     for (i, n) in nodes.iter().enumerate() {
         if matches!(n, SNode::Pi(_) | SNode::Const(_)) {
             continue;
@@ -131,15 +142,16 @@ pub fn map_subject_with(subject: &Subject, lib: &Library, goal: MapGoal) -> Mapp
                     }
                 });
                 if ok && better {
-                    here = Some(Choice { cost, arrival, gate: gi, leaves });
+                    here = Some(Choice {
+                        cost,
+                        arrival,
+                        gate: gi,
+                        leaves,
+                    });
                 }
             }
         }
         best[i] = here;
-        debug_assert!(
-            best[i].is_some(),
-            "every INV/NAND node matches at least the primitive cells"
-        );
     }
 
     // Select the cover from the outputs.
@@ -158,7 +170,11 @@ pub fn map_subject_with(subject: &Subject, lib: &Library, goal: MapGoal) -> Mapp
         if !selected.insert(node) {
             continue;
         }
-        let choice = best[node as usize].as_ref().expect("coverable");
+        let choice = best[node as usize]
+            .as_ref()
+            .ok_or_else(|| NetworkError::Inconsistent {
+                detail: format!("no library gate covers subject node #{node}"),
+            })?;
         let gate: &Gate = &lib.gates()[choice.gate];
         area += gate.area;
         gate_count += 1;
@@ -191,7 +207,12 @@ pub fn map_subject_with(subject: &Subject, lib: &Library, goal: MapGoal) -> Mapp
         delay = delay.max(arrival.get(&o).copied().unwrap_or(0.0));
     }
 
-    MappedNetlist { area, delay, gate_count, gate_histogram: histogram }
+    Ok(MappedNetlist {
+        area,
+        delay,
+        gate_count,
+        gate_histogram: histogram,
+    })
 }
 
 /// Matches `pattern` rooted at subject node `node`. Internal pattern
@@ -209,7 +230,15 @@ fn match_at(
 ) -> Option<Vec<u32>> {
     let mut binding: Vec<Option<u32>> = vec![None; 8];
     let mut leaves = Vec::new();
-    if match_rec(nodes, fanout, pattern, node, root, &mut binding, &mut leaves) {
+    if match_rec(
+        nodes,
+        fanout,
+        pattern,
+        node,
+        root,
+        &mut binding,
+        &mut leaves,
+    ) {
         Some(leaves)
     } else {
         None
@@ -283,7 +312,9 @@ mod tests {
 
     fn single_node_net(cover: Cover, n: usize) -> Network {
         let mut net = Network::new("t");
-        let ins: Vec<_> = (0..n).map(|i| net.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<_> = (0..n)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
         let f = net.add_node("f", ins, cover).unwrap();
         net.mark_output(f).unwrap();
         net
@@ -341,11 +372,15 @@ mod tests {
     fn delay_is_positive_and_bounded() {
         // A chain of ANDs: delay grows with depth.
         let mut net = Network::new("chain");
-        let ins: Vec<_> = (0..5).map(|i| net.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<_> = (0..5)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
         let and = Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])]);
         let mut prev = ins[0];
         for (k, &i) in ins.iter().enumerate().skip(1) {
-            prev = net.add_node(format!("n{k}"), vec![prev, i], and.clone()).unwrap();
+            prev = net
+                .add_node(format!("n{k}"), vec![prev, i], and.clone())
+                .unwrap();
         }
         net.mark_output(prev).unwrap();
         let m = map_network(&net, &Library::mcnc()).unwrap();
@@ -372,8 +407,8 @@ mod tests {
 #[cfg(test)]
 mod goal_tests {
     use super::*;
-    use bds_sop::{Cover, Cube};
     use bds_network::Network;
+    use bds_sop::{Cover, Cube};
 
     /// Delay-mode mapping must never be slower than area mode, and area
     /// mode never larger than delay mode.
@@ -382,18 +417,32 @@ mod goal_tests {
         // A 6-input AND chain: area mode prefers big NAND4 cells, delay
         // mode prefers balanced 2-input coverage.
         let mut net = Network::new("chain");
-        let ins: Vec<_> = (0..6).map(|i| net.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<_> = (0..6)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
         let and = Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])]);
         let mut prev = ins[0];
         for (k, &i) in ins.iter().enumerate().skip(1) {
-            prev = net.add_node(format!("n{k}"), vec![prev, i], and.clone()).unwrap();
+            prev = net
+                .add_node(format!("n{k}"), vec![prev, i], and.clone())
+                .unwrap();
         }
         net.mark_output(prev).unwrap();
         let lib = Library::mcnc();
         let a = map_network(&net, &lib).unwrap();
         let d = map_network_delay(&net, &lib).unwrap();
-        assert!(d.delay <= a.delay + 1e-9, "delay goal: {} vs {}", d.delay, a.delay);
-        assert!(a.area <= d.area + 1e-9, "area goal: {} vs {}", a.area, d.area);
+        assert!(
+            d.delay <= a.delay + 1e-9,
+            "delay goal: {} vs {}",
+            d.delay,
+            a.delay
+        );
+        assert!(
+            a.area <= d.area + 1e-9,
+            "area goal: {} vs {}",
+            a.area,
+            d.area
+        );
     }
 
     #[test]
@@ -402,9 +451,11 @@ mod goal_tests {
         let a = net.add_input("a").unwrap();
         let b = net.add_input("b").unwrap();
         let f = net
-            .add_node("f", vec![a, b], Cover::from_cubes(vec![
-                Cube::parse(&[(0, true), (1, true)]),
-            ]))
+            .add_node(
+                "f",
+                vec![a, b],
+                Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])]),
+            )
             .unwrap();
         net.mark_output(f).unwrap();
         let lib = Library::mcnc();

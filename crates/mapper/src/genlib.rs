@@ -30,7 +30,11 @@ pub struct ParseGenlibError {
 
 impl fmt::Display for ParseGenlibError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "genlib parse error at line {}: {}", self.line, self.detail)
+        write!(
+            f,
+            "genlib parse error at line {}: {}",
+            self.line, self.detail
+        )
     }
 }
 
@@ -42,10 +46,8 @@ impl Error for ParseGenlibError {}
 /// constants structurally). The library must define an inverter.
 ///
 /// # Errors
-/// [`ParseGenlibError`] on malformed input.
-///
-/// # Panics
-/// Panics (from [`Library::new`]) if no inverter cell is present.
+/// [`ParseGenlibError`] on malformed input, or when the library defines
+/// no inverter cell (the mapper requires one to repair phases).
 pub fn parse_genlib(text: &str) -> Result<Library, ParseGenlibError> {
     let mut gates = Vec::new();
     // Gates span until the next GATE keyword; normalize whitespace first.
@@ -70,44 +72,70 @@ pub fn parse_genlib(text: &str) -> Result<Library, ParseGenlibError> {
     }
     for (chunk, &line) in chunks.iter().zip(&lineno_of_gate) {
         if chunk.starts_with("LATCH") {
-            return Err(ParseGenlibError { line, detail: "sequential cells unsupported".into() });
+            return Err(ParseGenlibError {
+                line,
+                detail: "sequential cells unsupported".into(),
+            });
         }
         let rest = chunk.trim_start_matches("GATE").trim_start();
         let mut tokens = rest.split_whitespace();
         let name = tokens
             .next()
-            .ok_or_else(|| ParseGenlibError { line, detail: "missing gate name".into() })?
+            .ok_or_else(|| ParseGenlibError {
+                line,
+                detail: "missing gate name".into(),
+            })?
             .trim_matches('"')
             .to_string();
         let area: f64 = tokens
             .next()
-            .ok_or_else(|| ParseGenlibError { line, detail: "missing area".into() })?
+            .ok_or_else(|| ParseGenlibError {
+                line,
+                detail: "missing area".into(),
+            })?
             .parse()
-            .map_err(|_| ParseGenlibError { line, detail: "bad area".into() })?;
+            .map_err(|_| ParseGenlibError {
+                line,
+                detail: "bad area".into(),
+            })?;
         // The function runs up to the first ';'.
-        let after_area = rest
-            .splitn(3, char::is_whitespace)
-            .nth(2)
-            .ok_or_else(|| ParseGenlibError { line, detail: "missing function".into() })?;
-        let semi = after_area
-            .find(';')
-            .ok_or_else(|| ParseGenlibError { line, detail: "missing `;`".into() })?;
+        let after_area =
+            rest.splitn(3, char::is_whitespace)
+                .nth(2)
+                .ok_or_else(|| ParseGenlibError {
+                    line,
+                    detail: "missing function".into(),
+                })?;
+        let semi = after_area.find(';').ok_or_else(|| ParseGenlibError {
+            line,
+            detail: "missing `;`".into(),
+        })?;
         let func = &after_area[..semi];
         let pins = &after_area[semi + 1..];
-        let eq = func
-            .find('=')
-            .ok_or_else(|| ParseGenlibError { line, detail: "missing `=`".into() })?;
+        let eq = func.find('=').ok_or_else(|| ParseGenlibError {
+            line,
+            detail: "missing `=`".into(),
+        })?;
         let expr_text = func[eq + 1..].trim();
         if expr_text == "0" || expr_text == "1" {
             continue; // constant cells folded structurally
         }
-        let (expr, inputs) = ExprParser::parse(expr_text)
-            .map_err(|detail| ParseGenlibError { line, detail })?;
+        let (expr, inputs) =
+            ExprParser::parse(expr_text).map_err(|detail| ParseGenlibError { line, detail })?;
         let pattern = simplify_pattern(expr.to_pattern());
         let delay = parse_pin_delay(pins).unwrap_or(1.0);
-        gates.push(Gate { name, area, delay, inputs: inputs.len(), pattern });
+        gates.push(Gate {
+            name,
+            area,
+            delay,
+            inputs: inputs.len(),
+            pattern,
+        });
     }
-    Ok(Library::new(gates))
+    Library::try_new(gates).ok_or_else(|| ParseGenlibError {
+        line: 0,
+        detail: "library defines no inverter cell".to_string(),
+    })
 }
 
 /// Cancels double inversions so parsed patterns match the
@@ -183,7 +211,10 @@ struct ExprParser<'a> {
 
 impl<'a> ExprParser<'a> {
     fn parse(text: &'a str) -> Result<(GExpr, Vec<String>), String> {
-        let mut p = ExprParser { chars: text.chars().peekable(), vars: Vec::new() };
+        let mut p = ExprParser {
+            chars: text.chars().peekable(),
+            vars: Vec::new(),
+        };
         let e = p.or_expr()?;
         p.skip_ws();
         if p.chars.peek().is_some() {
@@ -256,6 +287,7 @@ impl<'a> ExprParser<'a> {
                     .peek()
                     .is_some_and(|c| c.is_alphanumeric() || *c == '_' || *c == '[' || *c == ']')
                 {
+                    // lint:allow(panic) — guarded: peek() returned Some
                     name.push(self.chars.next().expect("peeked"));
                 }
                 let idx = match self.vars.iter().position(|v| v == &name) {
@@ -360,10 +392,9 @@ GATE zero    0 O=0;
     fn parsed_library_maps_a_network() {
         use bds_network::blif;
         let lib = parse_genlib(SAMPLE).unwrap();
-        let net = blif::parse(
-            ".model m\n.inputs a b\n.outputs f\n.names a b f\n10 1\n01 1\n.end\n",
-        )
-        .unwrap();
+        let net =
+            blif::parse(".model m\n.inputs a b\n.outputs f\n.names a b f\n10 1\n01 1\n.end\n")
+                .unwrap();
         let mapped = crate::cover::map_network(&net, &lib).unwrap();
         assert_eq!(mapped.count_of("xor2"), 1);
     }

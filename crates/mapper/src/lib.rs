@@ -42,6 +42,6 @@ pub mod subject;
 
 pub use cover::{map_network, map_network_delay, MapGoal, MappedNetlist};
 pub use genlib::parse_genlib;
-pub use lut::{map_network_luts, LutNetlist};
 pub use library::Library;
+pub use lut::{map_network_luts, LutNetlist};
 pub use subject::Subject;

@@ -92,13 +92,20 @@ impl Library {
     /// mismatches at boundaries.
     ///
     /// # Panics
-    /// Panics if no inverter cell is present.
+    /// Panics if no inverter cell is present; use [`Library::try_new`]
+    /// for libraries loaded from external input.
     pub fn new(gates: Vec<Gate>) -> Self {
-        let inv = gates
-            .iter()
-            .position(|g| matches!(g.pattern, Pattern::Inv(ref p) if matches!(**p, Pattern::Input(_))))
-            .expect("library must contain an inverter cell");
-        Library { gates, inv }
+        // lint:allow(panic) — convenience for statically known libraries.
+        Self::try_new(gates).expect("library must contain an inverter cell")
+    }
+
+    /// Builds a library from gates, returning `None` when no inverter
+    /// cell is present.
+    pub fn try_new(gates: Vec<Gate>) -> Option<Self> {
+        let inv = gates.iter().position(
+            |g| matches!(g.pattern, Pattern::Inv(ref p) if matches!(**p, Pattern::Input(_))),
+        )?;
+        Some(Library { gates, inv })
     }
 
     /// The built-in `mcnc.genlib`-flavoured library used by the
@@ -174,7 +181,11 @@ impl Library {
 impl fmt::Display for Library {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for g in &self.gates {
-            writeln!(f, "GATE {} area={} delay={} inputs={}", g.name, g.area, g.delay, g.inputs)?;
+            writeln!(
+                f,
+                "GATE {} area={} delay={} inputs={}",
+                g.name, g.area, g.delay, g.inputs
+            )?;
         }
         Ok(())
     }

@@ -58,7 +58,7 @@ pub fn map_subject_luts(subject: &Subject, k: usize) -> LutNetlist {
 
     // Fanout estimate for area flow (on resolved drivers).
     let mut fanout = vec![0usize; nodes.len()];
-    for n in nodes.iter() {
+    for n in nodes {
         match n {
             SNode::Inv(_) => {}
             SNode::Nand(a, b) => {
@@ -87,7 +87,9 @@ pub fn map_subject_luts(subject: &Subject, k: usize) -> LutNetlist {
     let leaf_like = |i: u32| matches!(nodes[i as usize], SNode::Pi(_) | SNode::Const(_));
 
     for i in 0..nodes.len() as u32 {
-        let SNode::Nand(a, b) = nodes[i as usize] else { continue };
+        let SNode::Nand(a, b) = nodes[i as usize] else {
+            continue;
+        };
         let (da, db) = (driver[a as usize], driver[b as usize]);
         let child_cuts = |d: u32, cuts: &HashMap<u32, Vec<Vec<u32>>>| -> Vec<Vec<u32>> {
             let mut cs = vec![vec![d]]; // the trivial cut
@@ -141,6 +143,7 @@ pub fn map_subject_luts(subject: &Subject, k: usize) -> LutNetlist {
                 if leaf_like(l) {
                     continue;
                 }
+                // lint:allow(panic) — DP invariant: children precede parents in the subject order
                 let li = info.get(&l).expect("children precede parents");
                 flow += li.flow / fanout[l as usize].max(1) as f64;
                 level = level.max(li.level);
@@ -154,8 +157,16 @@ pub fn map_subject_luts(subject: &Subject, k: usize) -> LutNetlist {
                 best = Some((level, flow, cut.clone()));
             }
         }
+        // lint:allow(panic) — the trivial cut always fits (k >= 2 is validated on entry)
         let (level, flow, best_cut) = best.expect("the trivial cut always fits (k ≥ 2)");
-        info.insert(i, NodeInfo { best_cut: best_cut.clone(), flow, level });
+        info.insert(
+            i,
+            NodeInfo {
+                best_cut: best_cut.clone(),
+                flow,
+                level,
+            },
+        );
         cuts.insert(i, kept);
     }
 
@@ -173,6 +184,7 @@ pub fn map_subject_luts(subject: &Subject, k: usize) -> LutNetlist {
             continue;
         }
         selected.push(node);
+        // lint:allow(panic) — selected nodes all received DP info above
         let ni = info.get(&node).expect("selected nodes are NANDs");
         depth = depth.max(ni.level);
         for &l in &ni.best_cut {
@@ -181,7 +193,11 @@ pub fn map_subject_luts(subject: &Subject, k: usize) -> LutNetlist {
             }
         }
     }
-    LutNetlist { k, luts: selected.len(), depth }
+    LutNetlist {
+        k,
+        luts: selected.len(),
+        depth,
+    }
 }
 
 #[cfg(test)]

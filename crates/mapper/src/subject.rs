@@ -52,13 +52,15 @@ impl Subject {
             if net.is_input(sig) {
                 continue;
             }
+            // lint:allow(panic) — guarded: inputs are skipped above
             let (fanins, cover) = net.node(sig).expect("non-input");
             let fanin_nodes: Vec<u32> = fanins.iter().map(|f| of_signal[f]).collect();
             let id = s.emit_cover(cover, &fanin_nodes);
             of_signal.insert(sig, id);
         }
         for &o in net.outputs() {
-            s.outputs.push((of_signal[&o], net.signal_name(o).to_string()));
+            s.outputs
+                .push((of_signal[&o], net.signal_name(o).to_string()));
         }
         Ok(s)
     }
@@ -311,8 +313,9 @@ mod tests {
 
     fn net_with(cover: Cover, n: usize) -> Network {
         let mut net = Network::new("t");
-        let ins: Vec<SignalId> =
-            (0..n).map(|i| net.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<SignalId> = (0..n)
+            .map(|i| net.add_input(format!("i{i}")).unwrap())
+            .collect();
         let f = net.add_node("f", ins, cover).unwrap();
         net.mark_output(f).unwrap();
         net
@@ -324,8 +327,11 @@ mod tests {
             let assign: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
             let want = net.eval(&assign).unwrap();
             let names: Vec<String> = (0..n).map(|i| format!("i{i}")).collect();
-            let by_name: HashMap<&str, bool> =
-                names.iter().map(String::as_str).zip(assign.iter().copied()).collect();
+            let by_name: HashMap<&str, bool> = names
+                .iter()
+                .map(String::as_str)
+                .zip(assign.iter().copied())
+                .collect();
             let got = s.eval(&by_name);
             assert_eq!(got, want, "at {assign:?}");
         }

@@ -73,6 +73,7 @@ pub fn parse(text: &str) -> Result<Network> {
     while idx < lines.len() {
         let (lineno, line) = &lines[idx];
         let mut tokens = line.split_whitespace();
+        // lint:allow(panic) — blank lines were filtered during line collection
         let head = tokens.next().expect("blank lines were filtered");
         match head {
             ".model" => {
@@ -104,10 +105,12 @@ pub fn parse(text: &str) -> Result<Network> {
                     let parts: Vec<&str> = cube_line.split_whitespace().collect();
                     match parts.as_slice() {
                         [out] if signals.len() == 1 => {
+                            // lint:allow(panic) — split_whitespace never yields empty tokens
                             let ch = out.chars().next().expect("non-empty token");
                             cubes.push((String::new(), ch));
                         }
                         [ins, out] => {
+                            // lint:allow(panic) — split_whitespace never yields empty tokens
                             let ch = out.chars().next().expect("non-empty token");
                             cubes.push(((*ins).to_string(), ch));
                         }
@@ -120,7 +123,11 @@ pub fn parse(text: &str) -> Result<Network> {
                     }
                     idx += 1;
                 }
-                raw_nodes.push(RawNode { line: *lineno, signals, cubes });
+                raw_nodes.push(RawNode {
+                    line: *lineno,
+                    signals,
+                    cubes,
+                });
             }
             ".end" => break,
             ".latch" | ".gate" | ".mlatch" | ".subckt" => {
@@ -152,6 +159,7 @@ pub fn parse(text: &str) -> Result<Network> {
         ids.insert(name.clone(), id);
     }
     for rn in &raw_nodes {
+        // lint:allow(panic) — raw nodes were validated non-empty during parsing
         let out_name = rn.signals.last().expect("validated non-empty");
         if ids.contains_key(out_name) {
             return Err(NetworkError::Blif {
@@ -163,6 +171,7 @@ pub fn parse(text: &str) -> Result<Network> {
         ids.insert(out_name.clone(), id);
     }
     for rn in &raw_nodes {
+        // lint:allow(panic) — raw nodes were validated non-empty during parsing
         let out_name = rn.signals.last().expect("non-empty");
         let fanin_names = &rn.signals[..rn.signals.len() - 1];
         let mut fanins = Vec::with_capacity(fanin_names.len());
@@ -223,6 +232,7 @@ fn cubes_to_cover(line: usize, cubes: &[(String, char)], fanin_count: usize) -> 
                 }
             }
         }
+        // lint:allow(panic) — distinct fanin positions cannot conflict in a cube
         cover.push(Cube::new(lits).expect("distinct positions cannot conflict"));
     }
     cover.dedup();
@@ -234,7 +244,10 @@ fn cubes_to_cover(line: usize, cubes: &[(String, char)], fanin_count: usize) -> 
     } else if phase == '1' {
         Ok(cover)
     } else {
-        Err(NetworkError::Blif { line, detail: format!("invalid output phase `{phase}`") })
+        Err(NetworkError::Blif {
+            line,
+            detail: format!("invalid output phase `{phase}`"),
+        })
     }
 }
 
@@ -268,7 +281,9 @@ pub fn write(net: &Network) -> String {
     let outputs: Vec<&str> = net.outputs().iter().map(|&o| net.signal_name(o)).collect();
     let _ = writeln!(out, ".outputs {}", outputs.join(" "));
     for sig in net.topo_order() {
-        let Some((fanins, cover)) = net.node(sig) else { continue };
+        let Some((fanins, cover)) = net.node(sig) else {
+            continue;
+        };
         let mut names: Vec<&str> = fanins.iter().map(|&f| net.signal_name(f)).collect();
         names.push(net.signal_name(sig));
         let _ = writeln!(out, ".names {}", names.join(" "));

@@ -12,8 +12,10 @@ use std::collections::HashMap;
 use bds_bdd::{Edge, Manager, Var};
 use bds_sop::{Cover, Cube};
 
+use crate::error::NetworkError;
 use crate::global::cover_to_bdd;
 use crate::network::{Network, SignalId};
+use crate::Result;
 
 /// Cost model guiding [`Network::eliminate`] collapse decisions.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
@@ -69,7 +71,13 @@ impl Network {
     ///
     /// Primary outputs' driving nodes are never eliminated (their names
     /// must survive), and primary inputs are untouchable by construction.
-    pub fn eliminate(&mut self, params: &EliminateParams) -> usize {
+    ///
+    /// # Errors
+    /// Propagates [`NetworkError`]s from the collapse rewrites (a healthy
+    /// network produces none); the exit audit reports
+    /// [`NetworkError::Inconsistent`] / [`NetworkError::Cycle`] if a
+    /// collapse corrupted the network (strict builds only).
+    pub fn eliminate(&mut self, params: &EliminateParams) -> Result<usize> {
         let mut eliminated = 0;
         for _ in 0..params.max_passes {
             let mut changed = 0;
@@ -81,7 +89,7 @@ impl Network {
                 if self.node(sig).is_none() || self.outputs().contains(&sig) {
                     continue;
                 }
-                if self.try_eliminate(sig, params) {
+                if self.try_eliminate(sig, params)? {
                     changed += 1;
                 }
             }
@@ -90,33 +98,42 @@ impl Network {
             }
             eliminated += changed;
         }
-        eliminated
+        self.audit()?;
+        Ok(eliminated)
     }
 
     /// Attempts to collapse the node driving `sig` into every fanout.
-    fn try_eliminate(&mut self, sig: SignalId, params: &EliminateParams) -> bool {
+    /// `Ok(false)` means the collapse was not profitable or not feasible;
+    /// errors are reserved for structural corruption.
+    fn try_eliminate(&mut self, sig: SignalId, params: &EliminateParams) -> Result<bool> {
         let fanouts_map = self.fanouts();
         let fanouts = fanouts_map[sig.index()].clone();
         if fanouts.is_empty() || fanouts.len() > params.max_fanout {
-            return false;
+            return Ok(false);
         }
-        let (own_fanins, _) = self.node(sig).expect("node checked");
+        let Some((own_fanins, _)) = self.node(sig) else {
+            return Ok(false);
+        };
         let own_fanins = own_fanins.to_vec();
 
         // Cost before: sizes of sig and each fanout under the cost model.
         let Some(own_size) = self.collapse_cost(sig, params) else {
-            return false;
+            return Ok(false);
         };
         let mut old_cost = own_size as isize;
         let mut new_nodes: Vec<(SignalId, Vec<SignalId>, Cover)> = Vec::new();
         let mut new_cost = 0isize;
         for &fo in &fanouts {
             let Some(fo_size) = self.collapse_cost(fo, params) else {
-                return false;
+                return Ok(false);
             };
             old_cost += fo_size as isize;
             // Merged fanin list: fanout fanins minus sig, plus sig's fanins.
-            let (fo_fanins, _) = self.node(fo).expect("fanout is node");
+            let Some((fo_fanins, _)) = self.node(fo) else {
+                return Err(NetworkError::Inconsistent {
+                    detail: format!("fanout map lists non-node `{}`", self.signal_name(fo)),
+                });
+            };
             let mut merged: Vec<SignalId> = Vec::new();
             for &f in fo_fanins {
                 if f != sig && !merged.contains(&f) {
@@ -129,11 +146,12 @@ impl Network {
                 }
             }
             if merged.len() > params.max_support {
-                return false;
+                return Ok(false);
             }
-            let Some((cover, bdd_size)) = self.composed_cover(fo, sig, &merged, params.max_local_bdd)
+            let Some((cover, bdd_size)) =
+                self.composed_cover(fo, sig, &merged, params.max_local_bdd)
             else {
-                return false;
+                return Ok(false);
             };
             new_cost += match params.cost {
                 EliminateCost::BddNodes => bdd_size as isize,
@@ -142,13 +160,15 @@ impl Network {
             new_nodes.push((fo, merged, cover));
         }
         if new_cost - old_cost > params.growth_allowance {
-            return false;
+            return Ok(false);
         }
         for (fo, fanins, cover) in new_nodes {
-            self.replace_node(fo, fanins, cover)
-                .expect("collapse only rewires to upstream signals");
+            // Collapse only rewires to upstream signals, so this cannot
+            // close a cycle; a failure here is structural corruption and
+            // must surface, not unwind.
+            self.replace_node(fo, fanins, cover)?;
         }
-        true
+        Ok(true)
     }
 
     /// Cost of the node driving `sig` under the configured model, still
@@ -207,7 +227,7 @@ impl Network {
                     Ok(mgr.literal(var_of[&f], true))
                 }
             })
-            .collect::<Result<_, bds_bdd::BddError>>()
+            .collect::<std::result::Result<_, bds_bdd::BddError>>()
             .ok()?;
         let composed = crate::global::cover_to_bdd_edges(&mut mgr, fo_cover, &fanin_edges).ok()?;
         let size = mgr.size(composed);
@@ -221,18 +241,19 @@ impl Network {
             .enumerate()
             .map(|(i, &f)| (var_of[&f].index(), i as u32))
             .collect();
-        let cover: Cover = cubes
-            .iter()
-            .map(|c| {
-                Cube::new(
-                    c.literals()
-                        .iter()
-                        .map(|&(v, p)| (pos_of[&v.index()], p))
-                        .collect(),
-                )
-                .expect("isop cubes are consistent")
-            })
-            .collect();
+        let mut mapped_cubes = Vec::with_capacity(cubes.len());
+        for c in &cubes {
+            // ISOP cubes are consistent by construction; treat a
+            // contradictory one as blow-up rather than unwinding.
+            let cube = Cube::new(
+                c.literals()
+                    .iter()
+                    .map(|&(v, p)| (pos_of[&v.index()], p))
+                    .collect(),
+            )?;
+            mapped_cubes.push(cube);
+        }
+        let cover = Cover::from_cubes(mapped_cubes);
         Some((cover, size))
     }
 }
@@ -249,7 +270,9 @@ mod tests {
     #[test]
     fn eliminate_collapses_and_tree() {
         let mut n = Network::new("t");
-        let ins: Vec<SignalId> = (0..4).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<SignalId> = (0..4)
+            .map(|i| n.add_input(format!("i{i}")).unwrap())
+            .collect();
         let g1 = n.add_node("g1", vec![ins[0], ins[1]], and2()).unwrap();
         let g2 = n.add_node("g2", vec![ins[2], ins[3]], and2()).unwrap();
         let f = n.add_node("f", vec![g1, g2], and2()).unwrap();
@@ -257,9 +280,9 @@ mod tests {
         let before: Vec<bool> = (0..16)
             .map(|bits| n.eval(&assign4(bits)).unwrap()[0])
             .collect();
-        let eliminated = n.eliminate(&EliminateParams::default());
+        let eliminated = n.eliminate(&EliminateParams::default()).unwrap();
         assert_eq!(eliminated, 2, "both intermediate ANDs collapse");
-        let c = n.compacted();
+        let c = n.compacted().unwrap();
         assert_eq!(c.node_count(), 1);
         for bits in 0..16 {
             assert_eq!(n.eval(&assign4(bits)).unwrap()[0], before[bits as usize]);
@@ -278,17 +301,22 @@ mod tests {
             Cube::parse(&[(0, false), (1, true)]),
         ]);
         let mut n = Network::new("x");
-        let ins: Vec<SignalId> = (0..8).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+        let ins: Vec<SignalId> = (0..8)
+            .map(|i| n.add_input(format!("i{i}")).unwrap())
+            .collect();
         let mut prev = ins[0];
         for (k, &i) in ins.iter().enumerate().skip(1) {
             let name = format!("x{k}");
             prev = n.add_node(name, vec![prev, i], xor2.clone()).unwrap();
         }
         n.mark_output(prev).unwrap();
-        let params = EliminateParams { max_local_bdd: 12, ..Default::default() };
-        n.eliminate(&params);
+        let params = EliminateParams {
+            max_local_bdd: 12,
+            ..Default::default()
+        };
+        n.eliminate(&params).unwrap();
         // Every surviving node's local BDD must respect the cap.
-        let c = n.compacted();
+        let c = n.compacted().unwrap();
         for sig in c.node_ids() {
             let size = c.local_bdd_size(sig, usize::MAX).unwrap_or(0);
             assert!(size <= 12, "supernode exceeded the local-BDD cap: {size}");
@@ -311,7 +339,7 @@ mod tests {
         let f = n.add_node("f", vec![g, a], and2()).unwrap();
         n.mark_output(g).unwrap();
         n.mark_output(f).unwrap();
-        n.eliminate(&EliminateParams::default());
+        n.eliminate(&EliminateParams::default()).unwrap();
         assert!(n.node(g).is_some());
         assert!(n.outputs().contains(&g));
     }

@@ -57,7 +57,9 @@ impl fmt::Display for NetworkError {
                 write!(f, "adding node `{name}` would create a combinational cycle")
             }
             NetworkError::Inconsistent { detail } => write!(f, "inconsistent network: {detail}"),
-            NetworkError::Blif { line, detail } => write!(f, "blif parse error at line {line}: {detail}"),
+            NetworkError::Blif { line, detail } => {
+                write!(f, "blif parse error at line {line}: {detail}")
+            }
             NetworkError::BadAssignment { expected, got } => {
                 write!(f, "assignment provides {got} values for {expected} inputs")
             }

@@ -116,6 +116,7 @@ impl Network {
                 }
                 continue;
             }
+            // lint:allow(panic) — guarded: inputs are handled above
             let (fanins, cover) = self.node(sig).expect("non-input");
             let fanin_edges: Vec<Edge> = fanins.iter().map(|f| value[f]).collect();
             let e = cover_to_bdd_edges(mgr, cover, &fanin_edges)?;
@@ -132,16 +133,16 @@ impl Network {
     ///
     /// # Panics
     /// Panics if `fanin_vars` is shorter than the fanin list.
-    pub fn local_bdd(
-        &self,
-        sig: SignalId,
-        mgr: &mut Manager,
-        fanin_vars: &[Var],
-    ) -> Result<Edge> {
-        let (fanins, cover) = self.node(sig).ok_or_else(|| crate::NetworkError::Inconsistent {
-            detail: format!("`{}` is a primary input", self.signal_name(sig)),
-        })?;
-        assert!(fanin_vars.len() >= fanins.len(), "fanin variable list too short");
+    pub fn local_bdd(&self, sig: SignalId, mgr: &mut Manager, fanin_vars: &[Var]) -> Result<Edge> {
+        let (fanins, cover) = self
+            .node(sig)
+            .ok_or_else(|| crate::NetworkError::Inconsistent {
+                detail: format!("`{}` is a primary input", self.signal_name(sig)),
+            })?;
+        assert!(
+            fanin_vars.len() >= fanins.len(),
+            "fanin variable list too short"
+        );
         cover_to_bdd(mgr, cover, fanin_vars)
     }
 }
@@ -151,11 +152,7 @@ impl Network {
 ///
 /// # Errors
 /// Propagates BDD node-limit errors.
-pub fn cover_to_bdd_edges(
-    mgr: &mut Manager,
-    cover: &Cover,
-    fanin_edges: &[Edge],
-) -> Result<Edge> {
+pub fn cover_to_bdd_edges(mgr: &mut Manager, cover: &Cover, fanin_edges: &[Edge]) -> Result<Edge> {
     let mut acc = Edge::ZERO;
     for cube in cover.cubes() {
         let mut prod = Edge::ONE;
@@ -207,8 +204,9 @@ mod tests {
     fn global_bdd_respects_node_limit() {
         // A function big enough to overflow a tiny limit.
         let mut n = Network::new("big");
-        let inputs: Vec<SignalId> =
-            (0..8).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+        let inputs: Vec<SignalId> = (0..8)
+            .map(|i| n.add_input(format!("i{i}")).unwrap())
+            .collect();
         let mut cubes = Vec::new();
         for i in 0..4 {
             cubes.push(Cube::parse(&[(2 * i, true), (2 * i + 1, true)]));

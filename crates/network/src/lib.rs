@@ -45,18 +45,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// BLIF reading and writing.
 pub mod blif;
 mod dot;
 mod eliminate;
 mod error;
 mod global;
+mod invariants;
 mod network;
 mod stats;
 mod sweep;
+/// BDD-based combinational equivalence checking.
 pub mod verify;
 
 pub use eliminate::{EliminateCost, EliminateParams};
 pub use error::NetworkError;
+pub use invariants::STRICT_CHECKS;
 pub use network::{Network, SignalId};
 pub use stats::NetworkStats;
 

@@ -28,15 +28,15 @@ pub(crate) struct NodeData {
 }
 
 #[derive(Clone, Debug)]
-enum Driver {
+pub(crate) enum Driver {
     Input,
     Node(NodeData),
 }
 
 #[derive(Clone, Debug)]
-struct SignalEntry {
-    name: String,
-    driver: Driver,
+pub(crate) struct SignalEntry {
+    pub(crate) name: String,
+    pub(crate) driver: Driver,
 }
 
 /// A combinational multi-level Boolean network.
@@ -47,10 +47,10 @@ struct SignalEntry {
 #[derive(Clone, Debug)]
 pub struct Network {
     name: String,
-    signals: Vec<SignalEntry>,
-    by_name: HashMap<String, SignalId>,
-    inputs: Vec<SignalId>,
-    outputs: Vec<SignalId>,
+    pub(crate) signals: Vec<SignalEntry>,
+    pub(crate) by_name: HashMap<String, SignalId>,
+    pub(crate) inputs: Vec<SignalId>,
+    pub(crate) outputs: Vec<SignalId>,
     fresh_counter: u32,
 }
 
@@ -164,7 +164,9 @@ impl Network {
         let downstream = self.transitive_fanout(sig);
         for &f in &fanins {
             if f == sig || downstream.contains(&f) {
-                return Err(NetworkError::Cycle { name: self.signal_name(sig).to_string() });
+                return Err(NetworkError::Cycle {
+                    name: self.signal_name(sig).to_string(),
+                });
             }
         }
         self.signals[sig.index()].driver = Driver::Node(NodeData { fanins, cover });
@@ -234,21 +236,24 @@ impl Network {
 
     /// Ids of internal nodes only.
     pub fn node_ids(&self) -> Vec<SignalId> {
-        self.signals()
-            .filter(|&s| !self.is_input(s))
-            .collect()
+        self.signals().filter(|&s| !self.is_input(s)).collect()
     }
 
     /// Number of internal nodes.
     pub fn node_count(&self) -> usize {
-        self.signals.iter().filter(|s| matches!(s.driver, Driver::Node(_))).count()
+        self.signals
+            .iter()
+            .filter(|s| matches!(s.driver, Driver::Node(_)))
+            .count()
     }
 
     fn check_signal(&self, sig: SignalId) -> Result<()> {
         if sig.index() < self.signals.len() {
             Ok(())
         } else {
-            Err(NetworkError::UnknownSignal { name: format!("#{}", sig.0) })
+            Err(NetworkError::UnknownSignal {
+                name: format!("#{}", sig.0),
+            })
         }
     }
 
@@ -256,7 +261,7 @@ impl Network {
     pub fn topo_order(&self) -> Vec<SignalId> {
         let mut order = Vec::with_capacity(self.signals.len());
         let mut state = vec![0u8; self.signals.len()]; // 0 new, 1 open, 2 done
-        // Iterative DFS over every signal.
+                                                       // Iterative DFS over every signal.
         for start in self.signals() {
             if state[start.index()] != 0 {
                 continue;
@@ -331,8 +336,7 @@ impl Network {
         }
         for sig in self.topo_order() {
             if let Some(nd) = self.node_data(sig) {
-                let local: Vec<bool> =
-                    nd.fanins.iter().map(|&f| values[f.index()]).collect();
+                let local: Vec<bool> = nd.fanins.iter().map(|&f| values[f.index()]).collect();
                 values[sig.index()] = nd.cover.eval(&local);
             }
         }
@@ -374,8 +378,10 @@ impl Network {
             }
             if matches!(self.signals[idx].driver, Driver::Node(_)) {
                 // Unlink: keep the name reserved but drop the logic.
-                self.signals[idx].driver =
-                    Driver::Node(NodeData { fanins: Vec::new(), cover: Cover::zero() });
+                self.signals[idx].driver = Driver::Node(NodeData {
+                    fanins: Vec::new(),
+                    cover: Cover::zero(),
+                });
                 removed += 1;
             }
         }
@@ -388,7 +394,14 @@ impl Network {
     /// Rebuilds the network keeping only signals reachable from the
     /// outputs (plus all primary inputs). Returns the compacted network;
     /// signal ids are renumbered.
-    pub fn compacted(&self) -> Network {
+    ///
+    /// # Errors
+    /// [`NetworkError::Inconsistent`] if the source network is corrupt —
+    /// duplicate names, a fanin that is not yet placed by the topological
+    /// order, or an output whose driving signal could not be rebuilt. A
+    /// well-formed network (see [`Network::check_invariants`]) never
+    /// fails.
+    pub fn compacted(&self) -> Result<Network> {
         let mut live: HashSet<SignalId> = HashSet::new();
         let mut stack: Vec<SignalId> = self.outputs.clone();
         while let Some(s) = stack.pop() {
@@ -402,26 +415,45 @@ impl Network {
         let mut out = Network::new(self.name.clone());
         let mut map: HashMap<SignalId, SignalId> = HashMap::new();
         for &i in &self.inputs {
-            let ni = out
-                .add_input(self.signal_name(i))
-                .expect("names unique in source network");
+            let ni = out.add_input(self.signal_name(i))?;
             map.insert(i, ni);
         }
         for sig in self.topo_order() {
             if self.is_input(sig) || !live.contains(&sig) {
                 continue;
             }
-            let nd = self.node_data(sig).expect("non-input");
-            let fanins: Vec<SignalId> = nd.fanins.iter().map(|f| map[f]).collect();
-            let ns = out
-                .add_node(self.signal_name(sig), fanins, nd.cover.clone())
-                .expect("topological construction cannot fail");
+            let nd = self
+                .node_data(sig)
+                .ok_or_else(|| NetworkError::Inconsistent {
+                    detail: format!("`{}` is neither input nor node", self.signal_name(sig)),
+                })?;
+            let mut fanins = Vec::with_capacity(nd.fanins.len());
+            for f in &nd.fanins {
+                let mapped = map
+                    .get(f)
+                    .copied()
+                    .ok_or_else(|| NetworkError::Inconsistent {
+                        detail: format!(
+                            "fanin `{}` of `{}` not placed by topological order",
+                            self.signal_name(*f),
+                            self.signal_name(sig)
+                        ),
+                    })?;
+                fanins.push(mapped);
+            }
+            let ns = out.add_node(self.signal_name(sig), fanins, nd.cover.clone())?;
             map.insert(sig, ns);
         }
         for &o in &self.outputs {
-            out.mark_output(map[&o]).expect("output mapped");
+            let mapped = map
+                .get(&o)
+                .copied()
+                .ok_or_else(|| NetworkError::Inconsistent {
+                    detail: format!("output `{}` was not rebuilt", self.signal_name(o)),
+                })?;
+            out.mark_output(mapped)?;
         }
-        out
+        Ok(out)
     }
 }
 
@@ -450,7 +482,10 @@ mod tests {
     fn duplicate_names_rejected() {
         let mut n = Network::new("t");
         n.add_input("a").unwrap();
-        assert!(matches!(n.add_input("a"), Err(NetworkError::DuplicateName { .. })));
+        assert!(matches!(
+            n.add_input("a"),
+            Err(NetworkError::DuplicateName { .. })
+        ));
     }
 
     #[test]
@@ -468,8 +503,12 @@ mod tests {
     fn replace_node_cycle_detected() {
         let mut n = Network::new("t");
         let a = n.add_input("a").unwrap();
-        let f = n.add_node("f", vec![a], Cover::from_cubes(vec![Cube::lit(0, true)])).unwrap();
-        let g = n.add_node("g", vec![f], Cover::from_cubes(vec![Cube::lit(0, false)])).unwrap();
+        let f = n
+            .add_node("f", vec![a], Cover::from_cubes(vec![Cube::lit(0, true)]))
+            .unwrap();
+        let g = n
+            .add_node("g", vec![f], Cover::from_cubes(vec![Cube::lit(0, false)]))
+            .unwrap();
         // Making f depend on g closes a cycle.
         let r = n.replace_node(f, vec![g], Cover::from_cubes(vec![Cube::lit(0, true)]));
         assert!(matches!(r, Err(NetworkError::Cycle { .. })));
@@ -500,7 +539,7 @@ mod tests {
         let f = n.add_node("f", vec![a, b], and_cover()).unwrap();
         let _dead = n.add_node("dead", vec![a, b], and_cover()).unwrap();
         n.mark_output(f).unwrap();
-        let c = n.compacted();
+        let c = n.compacted().unwrap();
         assert_eq!(c.node_count(), 1);
         assert_eq!(c.inputs().len(), 2);
         assert_eq!(c.eval(&[true, true]).unwrap(), vec![true]);

@@ -24,14 +24,32 @@ pub struct NetworkStats {
 
 impl Network {
     /// Computes [`NetworkStats`] for the logic reachable from the outputs.
+    ///
+    /// Reachability is computed in place — dead nodes are skipped without
+    /// rebuilding the network.
     pub fn stats(&self) -> NetworkStats {
-        let net = self.compacted();
+        // Mark the output cones.
+        let mut live = vec![false; self.signals().count()];
+        let mut stack: Vec<_> = self.outputs().to_vec();
+        while let Some(s) = stack.pop() {
+            if std::mem::replace(&mut live[s.index()], true) {
+                continue;
+            }
+            if let Some((fanins, _)) = self.node(s) {
+                stack.extend(fanins.iter().copied());
+            }
+        }
+        let mut nodes = 0;
         let mut literals = 0;
         let mut cubes = 0;
-        let mut level = vec![0usize; net.signals().count()];
+        let mut level = vec![0usize; self.signals().count()];
         let mut depth = 0;
-        for sig in net.topo_order() {
-            if let Some((fanins, cover)) = net.node(sig) {
+        for sig in self.topo_order() {
+            if !live[sig.index()] {
+                continue;
+            }
+            if let Some((fanins, cover)) = self.node(sig) {
+                nodes += 1;
                 literals += cover.literal_count();
                 cubes += cover.len();
                 let l = fanins.iter().map(|f| level[f.index()]).max().unwrap_or(0) + 1;
@@ -40,9 +58,9 @@ impl Network {
             }
         }
         NetworkStats {
-            inputs: net.inputs().len(),
-            outputs: net.outputs().len(),
-            nodes: net.node_count(),
+            inputs: self.inputs().len(),
+            outputs: self.outputs().len(),
+            nodes,
             literals,
             cubes,
             depth,

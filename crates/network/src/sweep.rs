@@ -10,7 +10,9 @@ use std::collections::HashMap;
 use bds_bdd::Manager;
 use bds_sop::{Cover, Cube};
 
+use crate::error::NetworkError;
 use crate::network::{Network, SignalId};
+use crate::Result;
 
 impl Network {
     /// Runs sweep to fixpoint: local-cover simplification, constant
@@ -19,42 +21,58 @@ impl Network {
     ///
     /// Primary outputs always keep their driving node (possibly reduced to
     /// a buffer/constant) so their names survive — matching SIS behaviour.
-    pub fn sweep(&mut self) -> usize {
+    ///
+    /// # Errors
+    /// [`NetworkError::Inconsistent`] if the network was structurally
+    /// corrupt going in (a rewrite found a node or cover in a state the
+    /// pass's own invariants rule out); [`NetworkError::Cycle`] if a
+    /// rewrite would close a combinational cycle. A healthy network never
+    /// produces either.
+    pub fn sweep(&mut self) -> Result<usize> {
         let mut total = 0;
         loop {
             let mut changed = 0;
-            changed += self.simplify_covers();
-            changed += self.propagate_constants();
-            changed += self.collapse_buffers();
-            changed += self.dedup_equivalent_nodes();
+            changed += self.simplify_covers()?;
+            changed += self.propagate_constants()?;
+            changed += self.collapse_buffers()?;
+            changed += self.dedup_equivalent_nodes()?;
             if changed == 0 {
                 break;
             }
             total += changed;
         }
-        total
+        self.audit()?;
+        Ok(total)
     }
 
-    fn simplify_covers(&mut self) -> usize {
+    fn node_checked(&self, sig: SignalId) -> Result<(&[SignalId], &Cover)> {
+        self.node(sig).ok_or_else(|| NetworkError::Inconsistent {
+            detail: format!("`{}` is not an internal node", self.signal_name(sig)),
+        })
+    }
+
+    fn simplify_covers(&mut self) -> Result<usize> {
         let mut changed = 0;
         for sig in self.node_ids() {
-            let (fanins, cover) = self.node(sig).expect("node id");
+            let (fanins, cover) = self.node_checked(sig)?;
             let simplified = cover.simplify();
             if simplified != *cover {
                 let fanins = fanins.to_vec();
-                self.replace_node(sig, fanins, simplified).expect("same fanins stay acyclic");
+                self.replace_node(sig, fanins, simplified)?;
                 changed += 1;
             }
             // Drop fanins the cover no longer mentions.
-            changed += self.prune_unused_fanins(sig);
+            changed += self.prune_unused_fanins(sig)?;
         }
-        changed
+        Ok(changed)
     }
 
     /// Removes fanins whose position never occurs in the cover, and
     /// merges duplicate fanin signals into a single position.
-    fn prune_unused_fanins(&mut self, sig: SignalId) -> usize {
-        let Some((fanins, cover)) = self.node(sig) else { return 0 };
+    fn prune_unused_fanins(&mut self, sig: SignalId) -> Result<usize> {
+        let Some((fanins, cover)) = self.node(sig) else {
+            return Ok(0);
+        };
         let fanins = fanins.to_vec();
         let cover = cover.clone();
         // Merge duplicate fanin signals: all positions of a signal map to
@@ -81,32 +99,42 @@ impl Network {
         let used = merged.support();
         let keep: Vec<usize> = used.iter().map(|&v| v as usize).collect();
         if keep.len() == fanins.len() && merged == cover {
-            return 0;
+            return Ok(0);
         }
-        let renumber: HashMap<u32, u32> =
-            used.iter().enumerate().map(|(new, &old)| (old, new as u32)).collect();
-        let new_cover: Cover = merged
-            .cubes()
+        let renumber: HashMap<u32, u32> = used
             .iter()
-            .map(|c| {
-                Cube::new(
-                    c.literals().iter().map(|&(v, p)| (renumber[&v], p)).collect(),
-                )
-                .expect("renumbering keeps cubes consistent")
-            })
+            .enumerate()
+            .map(|(new, &old)| (old, new as u32))
             .collect();
+        let mut new_cubes = Vec::with_capacity(merged.len());
+        for c in merged.cubes() {
+            let lits: Vec<(u32, bool)> = c
+                .literals()
+                .iter()
+                .map(|&(v, p)| (renumber[&v], p))
+                .collect();
+            let cube = Cube::new(lits).ok_or_else(|| NetworkError::Inconsistent {
+                detail: format!(
+                    "fanin renumbering produced a contradictory cube on `{}`",
+                    self.signal_name(sig)
+                ),
+            })?;
+            new_cubes.push(cube);
+        }
+        let new_cover = Cover::from_cubes(new_cubes);
         let new_fanins: Vec<SignalId> = keep.iter().map(|&i| fanins[i]).collect();
-        self.replace_node(sig, new_fanins, new_cover)
-            .expect("subset of old fanins stays acyclic");
-        1
+        self.replace_node(sig, new_fanins, new_cover)?;
+        Ok(1)
     }
 
     /// Folds constant nodes into their fanouts.
-    fn propagate_constants(&mut self) -> usize {
+    fn propagate_constants(&mut self) -> Result<usize> {
         let mut changed = 0;
         let node_ids = self.node_ids();
         for sig in node_ids {
-            let Some((fanins, cover)) = self.node(sig) else { continue };
+            let Some((fanins, cover)) = self.node(sig) else {
+                continue;
+            };
             if !fanins.is_empty() {
                 continue;
             }
@@ -114,28 +142,34 @@ impl Network {
             // Substitute into every fanout.
             let fanouts = self.fanouts();
             for &fo in &fanouts[sig.index()] {
-                let (fo_fanins, fo_cover) = self.node(fo).expect("fanout is a node");
-                let pos = fo_fanins
-                    .iter()
-                    .position(|&f| f == sig)
-                    .expect("fanout lists sig") as u32;
+                let (fo_fanins, fo_cover) = self.node_checked(fo)?;
+                let pos = fo_fanins.iter().position(|&f| f == sig).ok_or_else(|| {
+                    NetworkError::Inconsistent {
+                        detail: format!(
+                            "fanout map lists `{}` under `{}` but the fanin list disagrees",
+                            self.signal_name(fo),
+                            self.signal_name(sig)
+                        ),
+                    }
+                })? as u32;
                 let new_cover = fo_cover.cofactor_lit(pos, value);
                 let fo_fanins = fo_fanins.to_vec();
-                self.replace_node(fo, fo_fanins, new_cover)
-                    .expect("same fanins stay acyclic");
-                self.prune_unused_fanins(fo);
+                self.replace_node(fo, fo_fanins, new_cover)?;
+                self.prune_unused_fanins(fo)?;
                 changed += 1;
             }
         }
-        changed
+        Ok(changed)
     }
 
     /// Re-points uses of buffer nodes (`f = x`) to their source, and
     /// rewrites inverter-of-inverter as a buffer first.
-    fn collapse_buffers(&mut self) -> usize {
+    fn collapse_buffers(&mut self) -> Result<usize> {
         let mut changed = 0;
         for sig in self.node_ids() {
-            let Some((fanins, cover)) = self.node(sig) else { continue };
+            let Some((fanins, cover)) = self.node(sig) else {
+                continue;
+            };
             if fanins.len() != 1 || cover.len() != 1 || cover.cubes()[0].len() != 1 {
                 continue;
             }
@@ -154,50 +188,53 @@ impl Network {
                             sig,
                             vec![grand],
                             Cover::from_cubes(vec![Cube::lit(0, true)]),
-                        )
-                        .expect("grandparent is upstream");
+                        )?;
                         changed += 1;
                     }
                 }
                 continue;
             }
             // Buffer: re-point all fanout uses to the source.
-            changed += self.replace_uses(sig, source);
+            changed += self.replace_uses(sig, source)?;
         }
-        changed
+        Ok(changed)
     }
 
     /// Replaces every *fanin* use of `old` by `new`. Outputs keep their
     /// driver. Returns the number of nodes rewritten.
-    fn replace_uses(&mut self, old: SignalId, new: SignalId) -> usize {
+    fn replace_uses(&mut self, old: SignalId, new: SignalId) -> Result<usize> {
         let mut changed = 0;
         let fanouts = self.fanouts();
         for &fo in &fanouts[old.index()] {
             if fo == new {
                 continue;
             }
-            let (fanins, cover) = self.node(fo).expect("fanout is node");
-            let new_fanins: Vec<SignalId> =
-                fanins.iter().map(|&f| if f == old { new } else { f }).collect();
+            let (fanins, cover) = self.node_checked(fo)?;
+            let new_fanins: Vec<SignalId> = fanins
+                .iter()
+                .map(|&f| if f == old { new } else { f })
+                .collect();
             let cover = cover.clone();
             if self.replace_node(fo, new_fanins, cover).is_ok() {
-                self.prune_unused_fanins(fo);
+                self.prune_unused_fanins(fo)?;
                 changed += 1;
             }
         }
-        changed
+        Ok(changed)
     }
 
     /// Identifies nodes computing the same function of the same signals
     /// (via canonical local BDDs in a scratch manager) and re-points all
     /// uses to one representative.
-    fn dedup_equivalent_nodes(&mut self) -> usize {
+    fn dedup_equivalent_nodes(&mut self) -> Result<usize> {
         let mut scratch = Manager::new();
         let mut var_of: HashMap<SignalId, bds_bdd::Var> = HashMap::new();
         let mut repr: HashMap<u32, SignalId> = HashMap::new();
         let mut changed = 0;
         for sig in self.topo_order() {
-            let Some((fanins, cover)) = self.node(sig) else { continue };
+            let Some((fanins, cover)) = self.node(sig) else {
+                continue;
+            };
             if fanins.is_empty() {
                 continue; // constants handled elsewhere
             }
@@ -216,14 +253,14 @@ impl Network {
             };
             match repr.get(&edge.raw()) {
                 Some(&r) if r != sig => {
-                    changed += self.replace_uses(sig, r);
+                    changed += self.replace_uses(sig, r)?;
                 }
                 _ => {
                     repr.insert(edge.raw(), sig);
                 }
             }
         }
-        changed
+        Ok(changed)
     }
 }
 
@@ -249,7 +286,7 @@ mod tests {
             )
             .unwrap();
         n.mark_output(f).unwrap();
-        n.sweep();
+        n.sweep().unwrap();
         let (fanins, cover) = n.node(f).unwrap();
         assert_eq!(fanins, &[a]);
         assert_eq!(cover, &lit_cover(0, true));
@@ -264,7 +301,7 @@ mod tests {
         let b2 = n.add_node("b2", vec![b1], lit_cover(0, true)).unwrap();
         let f = n.add_node("f", vec![b2], lit_cover(0, false)).unwrap();
         n.mark_output(f).unwrap();
-        n.sweep();
+        n.sweep().unwrap();
         let (fanins, _) = n.node(f).unwrap();
         assert_eq!(fanins, &[a], "f should read the input directly");
         assert_eq!(n.eval(&[true]).unwrap(), vec![false]);
@@ -284,7 +321,7 @@ mod tests {
             )
             .unwrap();
         n.mark_output(f).unwrap();
-        n.sweep();
+        n.sweep().unwrap();
         let (fanins, cover) = n.node(f).unwrap();
         // i2 == a, and the duplicate-fanin merge reduces f to a buffer of a.
         assert_eq!(fanins, &[a]);
@@ -307,11 +344,15 @@ mod tests {
             )
             .unwrap();
         n.mark_output(f).unwrap();
-        n.sweep();
+        n.sweep().unwrap();
         let (fanins, cover) = n.node(f).unwrap();
-        assert_eq!(fanins.len(), 1, "duplicate AND gates must merge: {fanins:?}");
+        assert_eq!(
+            fanins.len(),
+            1,
+            "duplicate AND gates must merge: {fanins:?}"
+        );
         assert_eq!(cover.literal_count(), 1);
-        let c = n.compacted();
+        let c = n.compacted().unwrap();
         assert_eq!(c.node_count(), 2); // one AND + the buffer f
     }
 
@@ -322,22 +363,24 @@ mod tests {
         let b = n.add_input("b").unwrap();
         let c = n.add_input("c").unwrap();
         let one = n.add_constant("k1", true).unwrap();
-        let nand = Cover::from_cubes(vec![
-            Cube::parse(&[(0, false)]),
-            Cube::parse(&[(1, false)]),
-        ]);
+        let nand = Cover::from_cubes(vec![Cube::parse(&[(0, false)]), Cube::parse(&[(1, false)])]);
         let g1 = n.add_node("g1", vec![a, b], nand.clone()).unwrap();
-        let g2 = n.add_node("g2", vec![g1, one], Cover::from_cubes(vec![
-            Cube::parse(&[(0, true), (1, true)]),
-        ])).unwrap();
+        let g2 = n
+            .add_node(
+                "g2",
+                vec![g1, one],
+                Cover::from_cubes(vec![Cube::parse(&[(0, true), (1, true)])]),
+            )
+            .unwrap();
         let g3 = n.add_node("g3", vec![g2, c], nand).unwrap();
         n.mark_output(g3).unwrap();
         let before: Vec<Vec<bool>> = (0..8)
             .map(|bits| {
-                n.eval(&[(bits & 1) == 1, (bits >> 1 & 1) == 1, (bits >> 2 & 1) == 1]).unwrap()
+                n.eval(&[(bits & 1) == 1, (bits >> 1 & 1) == 1, (bits >> 2 & 1) == 1])
+                    .unwrap()
             })
             .collect();
-        n.sweep();
+        n.sweep().unwrap();
         for (bits, want) in before.iter().enumerate() {
             let bits = bits as u32;
             let got = n

@@ -79,11 +79,12 @@ pub fn verify(a: &Network, b: &Network, node_limit: usize) -> Result<Verdict> {
     }
     let a_edges = a.global_bdds_in(&mut mgr, &a_vars)?;
     let b_edges = b.global_bdds_in(&mut mgr, &b_vars)?;
-    let b_by_name: HashMap<&str, bds_bdd::Edge> =
-        b_out.iter().copied().zip(b_edges).collect();
+    let b_by_name: HashMap<&str, bds_bdd::Edge> = b_out.iter().copied().zip(b_edges).collect();
     for (name, ea) in a_out.iter().zip(a_edges) {
         if b_by_name[name] != ea {
-            return Ok(Verdict::Inequivalent { output: (*name).to_string() });
+            return Ok(Verdict::Inequivalent {
+                output: (*name).to_string(),
+            });
         }
     }
     Ok(Verdict::Equivalent)
@@ -96,14 +97,11 @@ pub fn verify(a: &Network, b: &Network, node_limit: usize) -> Result<Verdict> {
 ///
 /// # Errors
 /// [`NetworkError::Inconsistent`] when the interfaces differ.
-pub fn verify_by_simulation(
-    a: &Network,
-    b: &Network,
-    rounds: usize,
-    seed: u64,
-) -> Result<Verdict> {
+pub fn verify_by_simulation(a: &Network, b: &Network, rounds: usize, seed: u64) -> Result<Verdict> {
     if a.inputs().len() != b.inputs().len() {
-        return Err(NetworkError::Inconsistent { detail: "input counts differ".into() });
+        return Err(NetworkError::Inconsistent {
+            detail: "input counts differ".into(),
+        });
     }
     // Map b's inputs/outputs by name.
     let mut b_input_pos: HashMap<&str, usize> = HashMap::new();
@@ -117,8 +115,12 @@ pub fn verify_by_simulation(
         state ^= state << 17;
         state
     };
-    let b_out_pos: HashMap<&str, usize> =
-        b.outputs().iter().enumerate().map(|(i, &s)| (b.signal_name(s), i)).collect();
+    let b_out_pos: HashMap<&str, usize> = b
+        .outputs()
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (b.signal_name(s), i))
+        .collect();
     for _ in 0..rounds {
         let mut a_assign = vec![false; a.inputs().len()];
         let mut b_assign = vec![false; b.inputs().len()];
@@ -143,7 +145,9 @@ pub fn verify_by_simulation(
                 });
             };
             if ra[i] != rb[bp] {
-                return Ok(Verdict::Inequivalent { output: name.to_string() });
+                return Ok(Verdict::Inequivalent {
+                    output: name.to_string(),
+                });
             }
         }
     }

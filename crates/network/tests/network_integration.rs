@@ -19,7 +19,9 @@ fn and2() -> Cover {
 /// Builds a 4-bit ripple parity+and mix used by several tests.
 fn mixed_network() -> Network {
     let mut n = Network::new("mix");
-    let ins: Vec<_> = (0..6).map(|i| n.add_input(format!("i{i}")).unwrap()).collect();
+    let ins: Vec<_> = (0..6)
+        .map(|i| n.add_input(format!("i{i}")).unwrap())
+        .collect();
     let x1 = n.add_node("x1", vec![ins[0], ins[1]], xor2()).unwrap();
     let x2 = n.add_node("x2", vec![x1, ins[2]], xor2()).unwrap();
     let a1 = n.add_node("a1", vec![ins[3], ins[4]], and2()).unwrap();
@@ -32,15 +34,17 @@ fn mixed_network() -> Network {
 #[test]
 fn eliminate_literal_cost_model_collapses_ands() {
     let mut n = mixed_network();
-    let before: Vec<bool> =
-        (0..64).map(|b| n.eval(&bits(b, 6)).unwrap()[0]).collect();
+    let before: Vec<bool> = (0..64).map(|b| n.eval(&bits(b, 6)).unwrap()[0]).collect();
     let params = EliminateParams {
         cost: EliminateCost::Literals,
         growth_allowance: 2,
         ..EliminateParams::default()
     };
-    let eliminated = n.eliminate(&params);
-    assert!(eliminated > 0, "AND chain should collapse under literal cost");
+    let eliminated = n.eliminate(&params).unwrap();
+    assert!(
+        eliminated > 0,
+        "AND chain should collapse under literal cost"
+    );
     for b in 0..64u32 {
         assert_eq!(n.eval(&bits(b, 6)).unwrap()[0], before[b as usize]);
     }
@@ -49,10 +53,9 @@ fn eliminate_literal_cost_model_collapses_ands() {
 #[test]
 fn eliminate_bdd_cost_model_is_function_preserving() {
     let mut n = mixed_network();
-    let before: Vec<bool> =
-        (0..64).map(|b| n.eval(&bits(b, 6)).unwrap()[0]).collect();
-    n.eliminate(&EliminateParams::default());
-    n.sweep();
+    let before: Vec<bool> = (0..64).map(|b| n.eval(&bits(b, 6)).unwrap()[0]).collect();
+    n.eliminate(&EliminateParams::default()).unwrap();
+    n.sweep().unwrap();
     for b in 0..64u32 {
         assert_eq!(n.eval(&bits(b, 6)).unwrap()[0], before[b as usize]);
     }
@@ -67,9 +70,9 @@ fn blif_pipeline_with_sweep_and_eliminate() {
     let n = mixed_network();
     let text = blif::write(&n);
     let mut parsed = blif::parse(&text).unwrap();
-    parsed.sweep();
-    parsed.eliminate(&EliminateParams::default());
-    let parsed = parsed.compacted();
+    parsed.sweep().unwrap();
+    parsed.eliminate(&EliminateParams::default()).unwrap();
+    let parsed = parsed.compacted().unwrap();
     assert_eq!(verify(&n, &parsed, 1_000_000).unwrap(), Verdict::Equivalent);
 }
 
@@ -77,7 +80,9 @@ fn blif_pipeline_with_sweep_and_eliminate() {
 fn verify_distinguishes_subtle_difference() {
     // Two implementations differing only on one minterm.
     let mut a = Network::new("a");
-    let ia: Vec<_> = (0..3).map(|i| a.add_input(format!("i{i}")).unwrap()).collect();
+    let ia: Vec<_> = (0..3)
+        .map(|i| a.add_input(format!("i{i}")).unwrap())
+        .collect();
     let maj = Cover::from_cubes(vec![
         Cube::parse(&[(0, true), (1, true)]),
         Cube::parse(&[(0, true), (2, true)]),
@@ -87,7 +92,9 @@ fn verify_distinguishes_subtle_difference() {
     a.mark_output(fa).unwrap();
 
     let mut b = Network::new("b");
-    let ib: Vec<_> = (0..3).map(|i| b.add_input(format!("i{i}")).unwrap()).collect();
+    let ib: Vec<_> = (0..3)
+        .map(|i| b.add_input(format!("i{i}")).unwrap())
+        .collect();
     // Majority plus the all-zeros minterm.
     let mut tweaked = maj;
     tweaked.push(Cube::parse(&[(0, false), (1, false), (2, false)]));
@@ -112,7 +119,11 @@ fn inputs_as_outputs_round_trip() {
     let mut n = Network::new("pass");
     let a = n.add_input("a").unwrap();
     let buf = n
-        .add_node("a_out", vec![a], Cover::from_cubes(vec![Cube::lit(0, true)]))
+        .add_node(
+            "a_out",
+            vec![a],
+            Cover::from_cubes(vec![Cube::lit(0, true)]),
+        )
         .unwrap();
     n.mark_output(buf).unwrap();
     let text = blif::write(&n);
@@ -144,20 +155,26 @@ fn sweep_then_verify_on_redundant_blif() {
 ";
     let original = blif::parse(text).unwrap();
     let mut swept = blif::parse(text).unwrap();
-    let changes = swept.sweep();
+    let changes = swept.sweep().unwrap();
     assert!(changes > 0);
-    let swept = swept.compacted();
-    assert!(swept.node_count() < original.compacted().node_count());
-    assert_eq!(verify(&original, &swept, 100_000).unwrap(), Verdict::Equivalent);
+    let swept = swept.compacted().unwrap();
+    assert!(swept.node_count() < original.compacted().unwrap().node_count());
+    assert_eq!(
+        verify(&original, &swept, 100_000).unwrap(),
+        Verdict::Equivalent
+    );
 }
 
 #[test]
 fn stats_track_depth_through_eliminate() {
     let mut n = mixed_network();
     let before = n.stats();
-    n.eliminate(&EliminateParams::default());
-    n.sweep();
+    n.eliminate(&EliminateParams::default()).unwrap();
+    n.sweep().unwrap();
     let after = n.stats();
-    assert!(after.depth <= before.depth, "collapsing cannot deepen the network");
+    assert!(
+        after.depth <= before.depth,
+        "collapsing cannot deepen the network"
+    );
     assert!(after.nodes <= before.nodes);
 }

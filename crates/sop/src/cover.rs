@@ -23,7 +23,9 @@ impl Cover {
 
     /// The tautology cover `{1}`.
     pub fn one() -> Self {
-        Cover { cubes: vec![Cube::one()] }
+        Cover {
+            cubes: vec![Cube::one()],
+        }
     }
 
     /// Builds a cover from cubes (sorted + deduplicated).
@@ -144,11 +146,7 @@ impl Cover {
             // (ties broken by index so exactly one survivor remains).
             let before = cubes.len();
             let snapshot = cubes.clone();
-            cubes.retain(|c| {
-                !snapshot
-                    .iter()
-                    .any(|d| d != c && d.subsumes(c))
-            });
+            cubes.retain(|c| !snapshot.iter().any(|d| d != c && d.subsumes(c)));
             let mut changed = cubes.len() != before;
 
             // Distance-1 merging over identical variable sets:
@@ -180,6 +178,7 @@ impl Cover {
                         .iter()
                         .find(|&&(v, p)| cubes[j].phase_of(v) == Some(!p))
                         .map(|&(v, _)| v)
+                        // lint:allow(panic) — distance-1 cubes conflict in exactly one variable
                         .expect("conflict exists");
                     merged_into = Some(cubes[i].without_var(confl_var));
                     used[j] = true;
@@ -264,9 +263,15 @@ mod tests {
             c(&[(3, true)]),
         ]);
         let fa = f.cofactor_lit(0, true);
-        assert_eq!(fa, Cover::from_cubes(vec![c(&[(1, true)]), c(&[(3, true)])]));
+        assert_eq!(
+            fa,
+            Cover::from_cubes(vec![c(&[(1, true)]), c(&[(3, true)])])
+        );
         let fna = f.cofactor_lit(0, false);
-        assert_eq!(fna, Cover::from_cubes(vec![c(&[(2, true)]), c(&[(3, true)])]));
+        assert_eq!(
+            fna,
+            Cover::from_cubes(vec![c(&[(2, true)]), c(&[(3, true)])])
+        );
     }
 
     #[test]
@@ -279,10 +284,7 @@ mod tests {
             c(&[(2, true), (3, false)]),
         ]);
         let s = f.simplify();
-        assert_eq!(
-            s,
-            Cover::from_cubes(vec![c(&[(0, true)]), c(&[(2, true)])])
-        );
+        assert_eq!(s, Cover::from_cubes(vec![c(&[(0, true)]), c(&[(2, true)])]));
     }
 
     #[test]

@@ -24,7 +24,9 @@ impl Cube {
 
     /// A single-literal cube.
     pub fn lit(var: u32, phase: bool) -> Self {
-        Cube { lits: vec![(var, phase)] }
+        Cube {
+            lits: vec![(var, phase)],
+        }
     }
 
     /// Builds a cube from literals, sorting and deduplicating.
@@ -47,6 +49,7 @@ impl Cube {
     /// # Panics
     /// Panics if both phases of some variable are present.
     pub fn parse(lits: &[Lit]) -> Self {
+        // lint:allow(panic) — documented panicking parse helper for literal test data
         Cube::new(lits.to_vec()).expect("contradictory cube literal list")
     }
 
@@ -175,7 +178,14 @@ impl Cube {
 
     /// Removes `var` from the cube if present (cofactoring helper).
     pub fn without_var(&self, var: u32) -> Cube {
-        Cube { lits: self.lits.iter().copied().filter(|&(v, _)| v != var).collect() }
+        Cube {
+            lits: self
+                .lits
+                .iter()
+                .copied()
+                .filter(|&(v, _)| v != var)
+                .collect(),
+        }
     }
 
     /// Evaluates under a total assignment indexed by variable.

@@ -29,7 +29,10 @@ pub fn divide_by_cube(f: &Cover, d: &Cube) -> Division {
             None => remainder.push(c.clone()),
         }
     }
-    Division { quotient: Cover::from_cubes(quotient), remainder: Cover::from_cubes(remainder) }
+    Division {
+        quotient: Cover::from_cubes(quotient),
+        remainder: Cover::from_cubes(remainder),
+    }
 }
 
 /// Weak-divides `f` by the multi-cube divisor `d`.
@@ -38,18 +41,28 @@ pub fn divide_by_cube(f: &Cover, d: &Cube) -> Division {
 /// (including when `d` is the zero cover).
 pub fn divide(f: &Cover, d: &Cover) -> Division {
     if d.is_empty() {
-        return Division { quotient: Cover::zero(), remainder: f.clone() };
+        return Division {
+            quotient: Cover::zero(),
+            remainder: f.clone(),
+        };
     }
     if d.has_unit_cube() {
         // Dividing by a cover containing the constant-true cube is
         // algebraically trivial: f = f·1 + 0.
-        return Division { quotient: f.clone(), remainder: Cover::zero() };
+        return Division {
+            quotient: f.clone(),
+            remainder: Cover::zero(),
+        };
     }
     // Quotient = ∩ over divisor cubes of (f / d_i).
     let mut quotient: Option<BTreeSet<Cube>> = None;
     for dc in d.cubes() {
-        let qi: BTreeSet<Cube> =
-            divide_by_cube(f, dc).quotient.cubes().iter().cloned().collect();
+        let qi: BTreeSet<Cube> = divide_by_cube(f, dc)
+            .quotient
+            .cubes()
+            .iter()
+            .cloned()
+            .collect();
         quotient = Some(match quotient {
             None => qi,
             Some(acc) => acc.intersection(&qi).cloned().collect(),
@@ -60,14 +73,25 @@ pub fn divide(f: &Cover, d: &Cover) -> Division {
     }
     let quotient = Cover::from_cubes(quotient.unwrap_or_default().into_iter().collect());
     if quotient.is_empty() {
-        return Division { quotient, remainder: f.clone() };
+        return Division {
+            quotient,
+            remainder: f.clone(),
+        };
     }
     // Remainder = f − quotient·d (as cube sets).
     let product = quotient.and(d);
     let product_set: BTreeSet<&Cube> = product.cubes().iter().collect();
-    let remainder =
-        Cover::from_cubes(f.cubes().iter().filter(|c| !product_set.contains(c)).cloned().collect());
-    Division { quotient, remainder }
+    let remainder = Cover::from_cubes(
+        f.cubes()
+            .iter()
+            .filter(|c| !product_set.contains(c))
+            .cloned()
+            .collect(),
+    );
+    Division {
+        quotient,
+        remainder,
+    }
 }
 
 #[cfg(test)]
@@ -91,7 +115,10 @@ mod tests {
         ]);
         let d = Cover::from_cubes(vec![c(&[(0, true)]), c(&[(1, true)])]);
         let div = divide(&f, &d);
-        assert_eq!(div.quotient, Cover::from_cubes(vec![c(&[(2, true)]), c(&[(3, true)])]));
+        assert_eq!(
+            div.quotient,
+            Cover::from_cubes(vec![c(&[(2, true)]), c(&[(3, true)])])
+        );
         assert_eq!(div.remainder, Cover::from_cubes(vec![c(&[(4, true)])]));
         // Reconstruction: q·d + r == f as cube sets.
         let rebuilt = div.quotient.and(&d).or(&div.remainder);

@@ -35,9 +35,7 @@ impl Expr {
     pub fn depth(&self) -> usize {
         match self {
             Expr::Const(_) | Expr::Lit(..) => 0,
-            Expr::And(xs) | Expr::Or(xs) => {
-                1 + xs.iter().map(Expr::depth).max().unwrap_or(0)
-            }
+            Expr::And(xs) | Expr::Or(xs) => 1 + xs.iter().map(Expr::depth).max().unwrap_or(0),
         }
     }
 
@@ -97,6 +95,7 @@ impl Expr {
                 }
                 match flat.len() {
                     0 => Expr::Const(true),
+                    // lint:allow(panic) — guarded: len() == 1
                     1 => flat.pop().expect("len checked"),
                     _ => Expr::And(flat),
                 }
@@ -113,6 +112,7 @@ impl Expr {
                 }
                 match flat.len() {
                     0 => Expr::Const(false),
+                    // lint:allow(panic) — guarded: len() == 1
                     1 => flat.pop().expect("len checked"),
                     _ => Expr::Or(flat),
                 }

@@ -46,9 +46,8 @@ pub fn factor(f: &Cover) -> Expr {
         if d.quotient.is_empty() {
             continue;
         }
-        let value = d.quotient.literal_count()
-            + k.kernel.literal_count()
-            + d.remainder.literal_count();
+        let value =
+            d.quotient.literal_count() + k.kernel.literal_count() + d.remainder.literal_count();
         if best.as_ref().is_none_or(|&(_, v)| value < v) {
             best = Some((k.kernel.clone(), value));
         }

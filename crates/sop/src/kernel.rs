@@ -33,6 +33,7 @@ pub fn common_cube(f: &Cover) -> Cube {
             .copied()
             .filter(|&(v, p)| c.has_lit(v, p))
             .collect();
+        // lint:allow(panic) — intersection of consistent cubes stays consistent
         Cube::new(lits).expect("intersection of consistent cubes is consistent")
     })
 }
@@ -57,7 +58,10 @@ pub fn kernels(f: &Cover) -> Vec<Kernel> {
     kernels_rec(&base, 0, &cc, &mut out, &mut seen);
     // The top-level cube-free quotient is itself a kernel (level-n kernel).
     if is_cube_free(&base) && seen.insert(base.cubes().to_vec()) {
-        out.push(Kernel { kernel: base, co_kernel: cc });
+        out.push(Kernel {
+            kernel: base,
+            co_kernel: cc,
+        });
     }
     out
 }
@@ -73,8 +77,7 @@ fn kernels_rec(
     let support = f.support();
     for &v in support.iter().filter(|&&v| v >= min_var) {
         for phase in [true, false] {
-            let occurrences =
-                f.cubes().iter().filter(|c| c.has_lit(v, phase)).count();
+            let occurrences = f.cubes().iter().filter(|c| c.has_lit(v, phase)).count();
             if occurrences < 2 {
                 continue;
             }
@@ -96,9 +99,13 @@ fn kernels_rec(
             let co = co_kernel_path
                 .product(&lit_cube)
                 .and_then(|c| c.product(&cc))
+                // lint:allow(panic) — co-kernel cube division keeps cubes consistent
                 .expect("co-kernel cubes are consistent by construction");
             if seen.insert(k.cubes().to_vec()) {
-                out.push(Kernel { kernel: k.clone(), co_kernel: co.clone() });
+                out.push(Kernel {
+                    kernel: k.clone(),
+                    co_kernel: co.clone(),
+                });
             }
             kernels_rec(&k, v + 1, &co, out, seen);
         }
@@ -112,7 +119,9 @@ pub fn level0_kernels(f: &Cover) -> Vec<Kernel> {
         .into_iter()
         .filter(|k| {
             // A kernel is level-0 if it has no proper kernels.
-            kernels(&k.kernel).iter().all(|inner| inner.kernel == k.kernel)
+            kernels(&k.kernel)
+                .iter()
+                .all(|inner| inner.kernel == k.kernel)
         })
         .collect()
 }
@@ -127,10 +136,7 @@ mod tests {
 
     #[test]
     fn common_cube_of_shared_literal() {
-        let f = Cover::from_cubes(vec![
-            c(&[(0, true), (1, true)]),
-            c(&[(0, true), (2, true)]),
-        ]);
+        let f = Cover::from_cubes(vec![c(&[(0, true), (1, true)]), c(&[(0, true), (2, true)])]);
         assert_eq!(common_cube(&f), Cube::lit(0, true));
         assert!(!is_cube_free(&f));
     }
@@ -147,10 +153,14 @@ mod tests {
         let ks = kernels(&f);
         let want = Cover::from_cubes(vec![c(&[(0, true)]), c(&[(1, true), (2, true)])]);
         assert!(
-            ks.iter().any(|k| k.kernel == want && k.co_kernel == Cube::lit(3, true)),
+            ks.iter()
+                .any(|k| k.kernel == want && k.co_kernel == Cube::lit(3, true)),
             "expected kernel a + b·c with co-kernel d, got {ks:?}"
         );
-        assert!(ks.iter().any(|k| k.kernel == f), "f itself is cube-free, hence a kernel");
+        assert!(
+            ks.iter().any(|k| k.kernel == f),
+            "f itself is cube-free, hence a kernel"
+        );
     }
 
     #[test]

@@ -1,20 +1,26 @@
-//! Property-based tests of the cube/SOP algebra.
+//! Property-based tests of the cube/SOP algebra (deterministic seeded
+//! cases via `bds-prop`).
 
+use bds_prop::{check_cases, Rng};
 use bds_sop::division::{divide, divide_by_cube};
 use bds_sop::factor::factor;
 use bds_sop::kernel::{common_cube, is_cube_free, kernels};
 use bds_sop::{Cover, Cube};
-use proptest::prelude::*;
 
 const NVARS: u32 = 6;
+const CASES: u32 = 96;
 
-fn cube_strategy() -> impl Strategy<Value = Option<Cube>> {
-    prop::collection::vec((0u32..NVARS, any::<bool>()), 1..4).prop_map(Cube::new)
+fn random_cube(rng: &mut Rng) -> Option<Cube> {
+    let n = rng.range_usize(1..4);
+    let lits: Vec<(u32, bool)> = (0..n)
+        .map(|_| (rng.range_u32(0..NVARS), rng.bool()))
+        .collect();
+    Cube::new(lits)
 }
 
-fn cover_strategy() -> impl Strategy<Value = Cover> {
-    prop::collection::vec(cube_strategy(), 1..7)
-        .prop_map(|cs| cs.into_iter().flatten().collect())
+fn random_cover(rng: &mut Rng) -> Cover {
+    let n = rng.range_usize(1..7);
+    (0..n).filter_map(|_| random_cube(rng)).collect()
 }
 
 fn eval_everywhere(f: &Cover) -> Vec<bool> {
@@ -26,78 +32,95 @@ fn eval_everywhere(f: &Cover) -> Vec<bool> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// Weak division reconstructs: f == q·d + r as a cube set.
-    #[test]
-    fn division_reconstructs(f in cover_strategy(), d in cover_strategy()) {
+/// Weak division reconstructs: f == q·d + r as a cube set.
+#[test]
+fn division_reconstructs() {
+    check_cases("division_reconstructs", CASES, |rng| {
+        let f = random_cover(rng);
+        let d = random_cover(rng);
         let div = divide(&f, &d);
         let rebuilt = div.quotient.and(&d).or(&div.remainder);
-        prop_assert_eq!(rebuilt, f);
-    }
+        assert_eq!(rebuilt, f);
+    });
+}
 
-    /// Cube division reconstructs exactly too.
-    #[test]
-    fn cube_division_reconstructs(f in cover_strategy(), c in cube_strategy()) {
-        prop_assume!(c.is_some());
-        let c = c.expect("assumed");
+/// Cube division reconstructs exactly too.
+#[test]
+fn cube_division_reconstructs() {
+    check_cases("cube_division_reconstructs", CASES, |rng| {
+        let f = random_cover(rng);
+        let Some(c) = random_cube(rng) else { return };
         let div = divide_by_cube(&f, &c);
         let rebuilt = div.quotient.times_cube(&c).or(&div.remainder);
-        prop_assert_eq!(rebuilt, f);
-    }
+        assert_eq!(rebuilt, f);
+    });
+}
 
-    /// Kernels: every kernel is the quotient of its co-kernel and is
-    /// cube-free.
-    #[test]
-    fn kernels_are_cube_free_quotients(f in cover_strategy()) {
-        let f = f.scc_minimal();
+/// Kernels: every kernel is the quotient of its co-kernel and is
+/// cube-free.
+#[test]
+fn kernels_are_cube_free_quotients() {
+    check_cases("kernels_are_cube_free_quotients", CASES, |rng| {
+        let f = random_cover(rng).scc_minimal();
         for k in kernels(&f) {
             let q = divide_by_cube(&f, &k.co_kernel).quotient;
             let cc = common_cube(&q);
             let reduced = divide_by_cube(&q, &cc).quotient;
-            prop_assert_eq!(&reduced, &k.kernel, "co-kernel {:?}", k.co_kernel);
-            prop_assert!(is_cube_free(&k.kernel));
+            assert_eq!(&reduced, &k.kernel, "co-kernel {:?}", k.co_kernel);
+            assert!(is_cube_free(&k.kernel));
         }
-    }
+    });
+}
 
-    /// simplify never changes the function and never grows literals.
-    #[test]
-    fn simplify_preserves_function(f in cover_strategy()) {
+/// simplify never changes the function and never grows literals.
+#[test]
+fn simplify_preserves_function() {
+    check_cases("simplify_preserves_function", CASES, |rng| {
+        let f = random_cover(rng);
         let s = f.simplify();
-        prop_assert!(s.literal_count() <= f.literal_count());
-        prop_assert_eq!(eval_everywhere(&f), eval_everywhere(&s));
-    }
+        assert!(s.literal_count() <= f.literal_count());
+        assert_eq!(eval_everywhere(&f), eval_everywhere(&s));
+    });
+}
 
-    /// scc_minimal preserves the function.
-    #[test]
-    fn scc_preserves_function(f in cover_strategy()) {
+/// scc_minimal preserves the function.
+#[test]
+fn scc_preserves_function() {
+    check_cases("scc_preserves_function", CASES, |rng| {
+        let f = random_cover(rng);
         let s = f.scc_minimal();
-        prop_assert!(s.len() <= f.len());
-        prop_assert_eq!(eval_everywhere(&f), eval_everywhere(&s));
-    }
+        assert!(s.len() <= f.len());
+        assert_eq!(eval_everywhere(&f), eval_everywhere(&s));
+    });
+}
 
-    /// factor: expansion is semantically identical and never more
-    /// literals than the SCC-minimal flat form.
-    #[test]
-    fn factor_is_semantics_preserving(f in cover_strategy()) {
+/// factor: expansion is semantically identical and never more literals
+/// than the SCC-minimal flat form.
+#[test]
+fn factor_is_semantics_preserving() {
+    check_cases("factor_is_semantics_preserving", CASES, |rng| {
+        let f = random_cover(rng);
         let e = factor(&f);
         let flat = f.scc_minimal();
-        prop_assert!(e.literal_count() <= flat.literal_count());
+        assert!(e.literal_count() <= flat.literal_count());
         for bits in 0..1u32 << NVARS {
             let a: Vec<bool> = (0..NVARS).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert_eq!(e.eval(&a), f.eval(&a));
+            assert_eq!(e.eval(&a), f.eval(&a));
         }
-    }
+    });
+}
 
-    /// Cofactor identity: f = x·f_x + x̄·f_x̄ (algebraic cofactor).
-    #[test]
-    fn shannon_on_covers(f in cover_strategy(), v in 0u32..NVARS) {
+/// Cofactor identity: f = x·f_x + x̄·f_x̄ (algebraic cofactor).
+#[test]
+fn shannon_on_covers() {
+    check_cases("shannon_on_covers", CASES, |rng| {
+        let f = random_cover(rng);
+        let v = rng.range_u32(0..NVARS);
         let f1 = f.cofactor_lit(v, true);
         let f0 = f.cofactor_lit(v, false);
         let lit1 = Cover::from_cubes(vec![Cube::lit(v, true)]);
         let lit0 = Cover::from_cubes(vec![Cube::lit(v, false)]);
         let rebuilt = lit1.and(&f1).or(&lit0.and(&f0));
-        prop_assert_eq!(eval_everywhere(&f), eval_everywhere(&rebuilt));
-    }
+        assert_eq!(eval_everywhere(&f), eval_everywhere(&rebuilt));
+    });
 }

@@ -1,0 +1,662 @@
+//! Workspace automation (`cargo xtask`).
+//!
+//! Two subcommands:
+//!
+//! * `cargo xtask lint` — custom static checks that `rustc`/`clippy` do
+//!   not cover for this workspace:
+//!   1. no `unwrap()`/`expect()`/`panic!()`/`unreachable!()`/`todo!()`/
+//!      `unimplemented!()` in **library** code (test modules, `tests/`,
+//!      `benches/`, `examples/` and `src/bin/` are exempt) unless the
+//!      line or its predecessor carries a `// lint:allow(panic)`
+//!      justification,
+//!   2. every crate root declares `#![forbid(unsafe_code)]`,
+//!   3. no `println!`/`eprintln!`/`print!`/`eprint!` in library code
+//!      (escape hatch: `// lint:allow(print)`),
+//!   4. public items in `bds-bdd` and `bds-network` carry doc comments.
+//!
+//!   Violations are reported as `path:line: [rule] message` and the
+//!   process exits nonzero.
+//!
+//! * `cargo xtask ci` — the full local gate: `cargo fmt --check`, then
+//!   `cargo clippy --workspace --all-targets -- -D warnings`, then the
+//!   custom lints above, then `cargo test --workspace`.
+//!
+//! A file-level escape hatch `// lint:allow-file(<rule>): <reason>`
+//! anywhere in a file disables one rule for that whole file.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => run_lint(),
+        Some("ci") => run_ci(),
+        _ => {
+            eprintln!("usage: cargo xtask <lint|ci>");
+            eprintln!("  lint  run the custom workspace lints");
+            eprintln!("  ci    fmt --check, clippy -D warnings, custom lints, tests");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask → workspace root is two levels up.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+// ---------------------------------------------------------------------------
+// `cargo xtask ci`
+// ---------------------------------------------------------------------------
+
+fn run_ci() -> ExitCode {
+    let root = workspace_root();
+    let steps: [(&str, &[&str]); 3] = [
+        ("cargo fmt --check", &["fmt", "--all", "--", "--check"]),
+        (
+            "cargo clippy -D warnings",
+            &[
+                "clippy",
+                "--workspace",
+                "--all-targets",
+                "--",
+                "-D",
+                "warnings",
+            ],
+        ),
+        // The test step is run after the custom lints below.
+        ("cargo test", &["test", "--workspace", "--quiet"]),
+    ];
+    let mut failed = Vec::new();
+    for (label, cmd_args) in &steps[..2] {
+        println!("==> {label}");
+        if !run_cargo(&root, cmd_args) {
+            failed.push(*label);
+        }
+    }
+    println!("==> cargo xtask lint");
+    if run_lint() != ExitCode::SUCCESS {
+        failed.push("cargo xtask lint");
+    }
+    let (label, cmd_args) = &steps[2];
+    println!("==> {label}");
+    if !run_cargo(&root, cmd_args) {
+        failed.push(label);
+    }
+    if failed.is_empty() {
+        println!("ci: all gates passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ci: FAILED gates: {}", failed.join(", "));
+        ExitCode::FAILURE
+    }
+}
+
+fn run_cargo(root: &Path, args: &[&str]) -> bool {
+    match Command::new("cargo").args(args).current_dir(root).status() {
+        Ok(status) => status.success(),
+        Err(err) => {
+            eprintln!("failed to spawn cargo {}: {err}", args.join(" "));
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `cargo xtask lint`
+// ---------------------------------------------------------------------------
+
+/// One reported violation.
+struct Violation {
+    path: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let mut violations = Vec::new();
+    let mut checked = 0usize;
+    for file in collect_rust_files(&root) {
+        let Ok(text) = std::fs::read_to_string(&file) else {
+            continue;
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(&file).to_path_buf();
+        checked += 1;
+        lint_file(&rel, &text, &mut violations);
+    }
+    // Crate-root rule runs on the roots regardless of library status.
+    for crate_root in collect_crate_roots(&root) {
+        let Ok(text) = std::fs::read_to_string(&crate_root) else {
+            continue;
+        };
+        let rel = crate_root
+            .strip_prefix(&root)
+            .unwrap_or(&crate_root)
+            .to_path_buf();
+        if !text.contains("#![forbid(unsafe_code)]") {
+            violations.push(Violation {
+                path: rel,
+                line: 1,
+                rule: "forbid-unsafe",
+                message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
+            });
+        }
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for v in &violations {
+        println!(
+            "{}:{}: [{}] {}",
+            v.path.display(),
+            v.line,
+            v.rule,
+            v.message
+        );
+    }
+    if violations.is_empty() {
+        println!("lint: {checked} library files clean");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("lint: {} violation(s) in {checked} files", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// Library sources: every `crates/*/src/**/*.rs` (minus `src/bin/`) plus
+/// the root package's `src/`. `tests/`, `benches/`, `examples/` and the
+/// xtask crate itself are not library code.
+fn collect_rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if dir.file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            walk(&dir.join("src"), &mut out);
+        }
+    }
+    walk(&root.join("src"), &mut out);
+    out.retain(|p| {
+        !p.components().any(|c| {
+            let c = c.as_os_str();
+            c == "bin" || c == "tests" || c == "benches" || c == "examples"
+        })
+    });
+    out.sort();
+    out
+}
+
+fn collect_crate_roots(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![
+        root.join("src/lib.rs"),
+        root.join("crates/xtask/src/main.rs"),
+    ];
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let lib = entry.path().join("src/lib.rs");
+            if lib.is_file() {
+                out.push(lib);
+            }
+        }
+    }
+    out.sort();
+    out.retain(|p| p.is_file());
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The panic-family tokens banned from library code. `assert!` and
+/// `debug_assert!` remain allowed: stating invariants is encouraged.
+const PANIC_TOKENS: [&str; 6] = [
+    ".unwrap()",
+    ".expect(",
+    "panic!(",
+    "unreachable!(",
+    "todo!(",
+    "unimplemented!(",
+];
+
+const PRINT_TOKENS: [&str; 4] = ["println!(", "eprintln!(", "print!(", "eprint!("];
+
+fn lint_file(rel: &Path, text: &str, violations: &mut Vec<Violation>) {
+    let raw_lines: Vec<&str> = text.lines().collect();
+    let cleaned = clean_lines(&raw_lines);
+    let in_test = test_regions(&raw_lines, &cleaned);
+    let allow_file_panic = text.contains("lint:allow-file(panic)");
+    let allow_file_print = text.contains("lint:allow-file(print)");
+    let allow_file_docs = text.contains("lint:allow-file(docs)");
+    let is_docs_crate = {
+        let s = rel.to_string_lossy().replace('\\', "/");
+        s.starts_with("crates/bdd/") || s.starts_with("crates/network/")
+    };
+
+    let allowed = |idx: usize, rule: &str| -> bool {
+        let marker = format!("lint:allow({rule})");
+        raw_lines[idx].contains(&marker) || (idx > 0 && raw_lines[idx - 1].contains(&marker))
+    };
+
+    for (idx, clean) in cleaned.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        let line_no = idx + 1;
+        if !allow_file_panic {
+            for tok in PANIC_TOKENS {
+                if contains_token(clean, tok) && !allowed(idx, "panic") {
+                    violations.push(Violation {
+                        path: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "panic",
+                        message: format!(
+                            "`{}` in library code; return an error or justify with \
+                             `// lint:allow(panic)`",
+                            tok.trim_start_matches('.')
+                        ),
+                    });
+                }
+            }
+        }
+        if !allow_file_print {
+            for tok in PRINT_TOKENS {
+                if contains_token(clean, tok) && !allowed(idx, "print") {
+                    violations.push(Violation {
+                        path: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "print",
+                        message: format!(
+                            "`{}` in library code; return data instead or justify with \
+                             `// lint:allow(print)`",
+                            tok.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+        if is_docs_crate && !allow_file_docs && !allowed(idx, "docs") {
+            if let Some(item) = public_item(clean) {
+                if !has_doc_comment(&raw_lines, idx) {
+                    violations.push(Violation {
+                        path: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "docs",
+                        message: format!("public {item} is missing a doc comment"),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Substring match that refuses to start mid-identifier, so
+/// `eprintln!(` does not also count as `println!(`.
+fn contains_token(haystack: &str, tok: &str) -> bool {
+    let bytes = haystack.as_bytes();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(tok) {
+        let at = from + pos;
+        let prev = if at == 0 { None } else { Some(bytes[at - 1]) };
+        let boundary =
+            prev.is_none_or(|b| !(b.is_ascii_alphanumeric() || b == b'_') || tok.starts_with('.'));
+        if boundary {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+/// Matches a public item declaration needing a doc comment. Restricted
+/// visibility (`pub(crate)`, `pub(super)`) and re-exports are exempt.
+fn public_item(clean: &str) -> Option<&'static str> {
+    let t = clean.trim_start();
+    let rest = t.strip_prefix("pub ")?;
+    for kw in [
+        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+    ] {
+        if let Some(after) = rest.strip_prefix(kw) {
+            if after.starts_with([' ', '\t']) {
+                return Some(kw);
+            }
+        }
+    }
+    None
+}
+
+/// True when the lines above `idx` (skipping attributes) end in a doc
+/// comment (`///` or `#[doc`).
+fn has_doc_comment(raw_lines: &[&str], idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = raw_lines[i].trim_start();
+        if t.starts_with("#[") || t.starts_with("#![") || t.ends_with(']') && t.starts_with('#') {
+            continue;
+        }
+        if t.is_empty() {
+            return false;
+        }
+        return t.starts_with("///") || t.starts_with("#[doc") || t.starts_with("//!");
+    }
+    false
+}
+
+/// Removes comments and string/char literal contents line by line,
+/// preserving line structure, so token matching cannot be fooled by
+/// message text.
+fn clean_lines(raw_lines: &[&str]) -> Vec<String> {
+    let mut out = Vec::with_capacity(raw_lines.len());
+    let mut in_block_comment = false;
+    for line in raw_lines {
+        let mut cleaned = String::with_capacity(line.len());
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if in_block_comment {
+                if bytes[i..].starts_with(b"*/") {
+                    in_block_comment = false;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            match bytes[i] {
+                b'/' if bytes[i..].starts_with(b"//") => break, // line comment
+                b'/' if bytes[i..].starts_with(b"/*") => {
+                    in_block_comment = true;
+                    i += 2;
+                }
+                b'"' => {
+                    i = skip_string(bytes, i);
+                    cleaned.push_str("\"\"");
+                }
+                b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#") => {
+                    i = skip_raw_string(bytes, i);
+                    cleaned.push_str("\"\"");
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a char literal closes with
+                    // a quote within a few bytes; a lifetime does not.
+                    if let Some(end) = char_literal_end(bytes, i) {
+                        i = end;
+                        cleaned.push_str("' '");
+                    } else {
+                        cleaned.push('\'');
+                        i += 1;
+                    }
+                }
+                b => {
+                    cleaned.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+        out.push(cleaned);
+    }
+    out
+}
+
+/// Advances past a normal string literal starting at `start` (which must
+/// point at the opening quote). Returns the index after the closing quote
+/// (or end of line for multi-line strings — good enough for token hiding).
+fn skip_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// Advances past a raw string literal `r"..."` / `r#"..."#`.
+fn skip_raw_string(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    let mut hashes = 0;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return start + 1;
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// If a char literal starts at `start`, returns the index just past it.
+fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
+    let mut i = start + 1;
+    if i >= bytes.len() {
+        return None;
+    }
+    if bytes[i] == b'\\' {
+        i += 2; // escape plus escaped byte (covers \n, \', \\, \u prefix)
+        while i < bytes.len() && bytes[i] != b'\'' {
+            i += 1;
+        }
+        return (i < bytes.len()).then_some(i + 1);
+    }
+    // Unescaped: exactly one character (possibly multi-byte) then a quote.
+    let mut j = i + 1;
+    while j < bytes.len() && j <= i + 4 {
+        if bytes[j] == b'\'' {
+            return Some(j + 1);
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Marks lines inside `#[cfg(test)]`-gated blocks (test modules and
+/// test-only items). Tracks brace depth from the block opened after the
+/// attribute.
+fn test_regions(raw_lines: &[&str], cleaned: &[String]) -> Vec<bool> {
+    let mut in_test = vec![false; raw_lines.len()];
+    let mut i = 0;
+    while i < raw_lines.len() {
+        let t = raw_lines[i].trim_start();
+        if t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test") {
+            // Find the block opened by the following item and consume it.
+            let mut depth: i32 = 0;
+            let mut opened = false;
+            let mut j = i;
+            while j < raw_lines.len() {
+                in_test[j] = true;
+                for b in cleaned[j].bytes() {
+                    match b {
+                        b'{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        b'}' => depth -= 1,
+                        // An attribute on a braceless item (e.g. a
+                        // `#[cfg(test)] use …;`) ends at the semicolon.
+                        b';' if !opened && depth == 0 => {
+                            opened = true;
+                            depth = 0;
+                        }
+                        _ => {}
+                    }
+                }
+                if opened && depth <= 0 {
+                    break;
+                }
+                j += 1;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    in_test
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(text: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        lint_file(Path::new("crates/demo/src/lib.rs"), text, &mut v);
+        v.into_iter()
+            .map(|v| format!("{}:{}", v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn flags_unwrap_in_library_code() {
+        let text = "fn f() {\n    let x = g().unwrap();\n}\n";
+        assert_eq!(lint_str(text), vec!["panic:2"]);
+    }
+
+    #[test]
+    fn allows_justified_unwrap() {
+        let text = "fn f() {\n    // lint:allow(panic) — cannot fail, g is total\n    \
+                    let x = g().unwrap();\n}\n";
+        assert!(lint_str(text).is_empty());
+    }
+
+    #[test]
+    fn same_line_justification_works() {
+        let text = "fn f() {\n    let x = g().unwrap(); // lint:allow(panic) — total\n}\n";
+        assert!(lint_str(text).is_empty());
+    }
+
+    #[test]
+    fn file_level_allow_disables_rule() {
+        let text = "// lint:allow-file(panic): generator code\nfn f() {\n    g().unwrap();\n}\n";
+        assert!(lint_str(text).is_empty());
+    }
+
+    #[test]
+    fn ignores_test_modules() {
+        let text = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
+                    g().unwrap();\n        println!(\"x\");\n    }\n}\n";
+        assert!(lint_str(text).is_empty());
+    }
+
+    #[test]
+    fn flags_code_after_test_module() {
+        let text = "#[cfg(test)]\nmod tests {\n    fn t() { g().unwrap(); }\n}\n\
+                    fn f() {\n    g().unwrap();\n}\n";
+        assert_eq!(lint_str(text), vec!["panic:6"]);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let text = "fn f() {\n    let s = \"call .unwrap() and panic!(now)\";\n    \
+                    // .unwrap() in a comment\n}\n";
+        assert!(lint_str(text).is_empty());
+    }
+
+    #[test]
+    fn print_macros_flagged() {
+        let text = "fn f() {\n    println!(\"hi\");\n    eprintln!(\"bye\");\n}\n";
+        assert_eq!(lint_str(text), vec!["print:2", "print:3"]);
+    }
+
+    #[test]
+    fn panic_macro_flagged() {
+        let text = "fn f() {\n    panic!(\"boom\");\n    unreachable!(\"no\");\n}\n";
+        assert_eq!(lint_str(text), vec!["panic:2", "panic:3"]);
+    }
+
+    fn docs_lint(text: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        lint_file(Path::new("crates/bdd/src/lib.rs"), text, &mut v);
+        v.into_iter()
+            .filter(|v| v.rule == "docs")
+            .map(|v| format!("{}:{}", v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn undocumented_public_item_flagged() {
+        let text = "pub fn naked() {}\n";
+        assert_eq!(docs_lint(text), vec!["docs:1"]);
+    }
+
+    #[test]
+    fn documented_public_item_passes() {
+        let text = "/// Does a thing.\npub fn documented() {}\n";
+        assert!(docs_lint(text).is_empty());
+    }
+
+    #[test]
+    fn attribute_between_doc_and_item_ok() {
+        let text = "/// Doc.\n#[inline]\npub fn documented() {}\n";
+        assert!(docs_lint(text).is_empty());
+    }
+
+    #[test]
+    fn pub_crate_items_exempt_from_docs() {
+        let text = "pub(crate) fn internal() {}\npub use other::thing;\n";
+        assert!(docs_lint(text).is_empty());
+    }
+
+    #[test]
+    fn docs_rule_limited_to_docs_crates() {
+        let text = "pub fn naked() {}\n";
+        let mut v = Vec::new();
+        lint_file(Path::new("crates/sop/src/lib.rs"), text, &mut v);
+        assert!(v.iter().all(|v| v.rule != "docs"));
+    }
+
+    #[test]
+    fn char_literals_do_not_break_cleaning() {
+        let text = "fn f() {\n    let c = '\\'';\n    let l: &'static str = \"x\";\n    \
+                    g().unwrap();\n}\n";
+        assert_eq!(lint_str(text), vec!["panic:4"]);
+    }
+
+    #[test]
+    fn raw_strings_hidden() {
+        let text = "fn f() {\n    let s = r#\"has .unwrap() inside\"#;\n}\n";
+        assert!(lint_str(text).is_empty());
+    }
+
+    #[test]
+    fn expect_flagged_and_justifiable() {
+        let text = "fn f() {\n    g().expect(\"msg\");\n}\n";
+        assert_eq!(lint_str(text), vec!["panic:2"]);
+    }
+}

@@ -24,25 +24,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let variants: Vec<(&str, DecomposeParams)> = vec![
         ("paper order", DecomposeParams::default()),
-        ("no xnor", DecomposeParams {
-            priority: vec![
-                Method::SimpleDominators,
-                Method::FunctionalMux,
-                Method::GeneralizedDominator,
-            ],
-            ..DecomposeParams::default()
-        }),
-        ("shannon only", DecomposeParams { priority: Vec::new(), ..DecomposeParams::default() }),
-        ("deepest dominator", DecomposeParams {
-            balance_dominators: false,
-            ..DecomposeParams::default()
-        }),
+        (
+            "no xnor",
+            DecomposeParams {
+                priority: vec![
+                    Method::SimpleDominators,
+                    Method::FunctionalMux,
+                    Method::GeneralizedDominator,
+                ],
+                ..DecomposeParams::default()
+            },
+        ),
+        (
+            "shannon only",
+            DecomposeParams {
+                priority: Vec::new(),
+                ..DecomposeParams::default()
+            },
+        ),
+        (
+            "deepest dominator",
+            DecomposeParams {
+                balance_dominators: false,
+                ..DecomposeParams::default()
+            },
+        ),
     ];
 
     for (cname, net) in &circuits {
         println!("--- {cname} ({}) ---", net.stats());
         for (vname, dparams) in &variants {
-            let params = FlowParams { decompose: dparams.clone(), ..FlowParams::default() };
+            let params = FlowParams {
+                decompose: dparams.clone(),
+                ..FlowParams::default()
+            };
             let (out, report) = optimize(net, &params)?;
             if verify(net, &out, 2_000_000)? != Verdict::Equivalent {
                 return Err(format!("{cname}/{vname}: inequivalent result").into());

@@ -35,10 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 forest.literal_count(root)
             );
         }
-        println!(
-            "  methods used: {:?}",
-            dec.stats
-        );
+        println!("  methods used: {:?}", dec.stats);
         println!();
     }
     println!("all figures reproduced and verified exhaustively.");

@@ -15,7 +15,12 @@ use bds_repro::network::verify::{verify, Verdict};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lib = Library::mcnc();
-    let params = RandomLogicParams { inputs: 12, outputs: 6, nodes: 40, ..Default::default() };
+    let params = RandomLogicParams {
+        inputs: 12,
+        outputs: 6,
+        nodes: 40,
+        ..Default::default()
+    };
     let mut totals = (0.0f64, 0.0f64, 0usize, 0usize);
     println!(
         "{:<8} {:>10} {:>10} {:>10} {:>10} {:>8}",

@@ -14,6 +14,8 @@
 //!
 //! See `README.md` for a tour and `examples/` for runnable entry points.
 
+#![forbid(unsafe_code)]
+
 pub use bds as core;
 pub use bds_bdd as bdd;
 pub use bds_circuits as circuits;

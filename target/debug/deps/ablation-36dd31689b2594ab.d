@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-36dd31689b2594ab.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-36dd31689b2594ab: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-4107d3a716832cf1.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-4107d3a716832cf1: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bdd_integration-66306723c7af45e0.d: crates/bdd/tests/bdd_integration.rs
+
+/root/repo/target/debug/deps/bdd_integration-66306723c7af45e0: crates/bdd/tests/bdd_integration.rs
+
+crates/bdd/tests/bdd_integration.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bdd_integration-b4f0649627ec7347.d: crates/bdd/tests/bdd_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbdd_integration-b4f0649627ec7347.rmeta: crates/bdd/tests/bdd_integration.rs Cargo.toml
+
+crates/bdd/tests/bdd_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bds-0f5adce052671ed5.d: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds-0f5adce052671ed5.rmeta: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs Cargo.toml
+
+crates/bds-core/src/lib.rs:
+crates/bds-core/src/decompose.rs:
+crates/bds-core/src/dominators.rs:
+crates/bds-core/src/factor_tree.rs:
+crates/bds-core/src/flow.rs:
+crates/bds-core/src/gendom.rs:
+crates/bds-core/src/lifted.rs:
+crates/bds-core/src/mux.rs:
+crates/bds-core/src/sdc.rs:
+crates/bds-core/src/sharing.rs:
+crates/bds-core/src/sis_flow.rs:
+crates/bds-core/src/xor_decomp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

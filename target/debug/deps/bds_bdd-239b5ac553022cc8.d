@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/bds_bdd-239b5ac553022cc8.d: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_bdd-239b5ac553022cc8.rmeta: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs Cargo.toml
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/apply.rs:
+crates/bdd/src/cofactor.rs:
+crates/bdd/src/count.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/edge.rs:
+crates/bdd/src/error.rs:
+crates/bdd/src/invariants.rs:
+crates/bdd/src/isop.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/reorder.rs:
+crates/bdd/src/restrict.rs:
+crates/bdd/src/satisfy.rs:
+crates/bdd/src/transfer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

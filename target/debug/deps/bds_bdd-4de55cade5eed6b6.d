@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/bds_bdd-4de55cade5eed6b6.d: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs
+
+/root/repo/target/debug/deps/libbds_bdd-4de55cade5eed6b6.rlib: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs
+
+/root/repo/target/debug/deps/libbds_bdd-4de55cade5eed6b6.rmeta: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/apply.rs:
+crates/bdd/src/cofactor.rs:
+crates/bdd/src/count.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/edge.rs:
+crates/bdd/src/error.rs:
+crates/bdd/src/invariants.rs:
+crates/bdd/src/isop.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/reorder.rs:
+crates/bdd/src/restrict.rs:
+crates/bdd/src/satisfy.rs:
+crates/bdd/src/transfer.rs:

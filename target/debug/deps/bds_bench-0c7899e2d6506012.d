@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bds_bench-0c7899e2d6506012.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/bds_bench-0c7899e2d6506012: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bds_bench-7b1a8424542af126.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbds_bench-7b1a8424542af126.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libbds_bench-7b1a8424542af126.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bds_bench-e81d66e8818009aa.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_bench-e81d66e8818009aa.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bds_circuits-1b9ce0b640dc41b4.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/alu.rs crates/circuits/src/builder.rs crates/circuits/src/comparator.rs crates/circuits/src/ecc.rs crates/circuits/src/figures.rs crates/circuits/src/misc.rs crates/circuits/src/multiplier.rs crates/circuits/src/parity.rs crates/circuits/src/random_logic.rs crates/circuits/src/shifter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_circuits-1b9ce0b640dc41b4.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/alu.rs crates/circuits/src/builder.rs crates/circuits/src/comparator.rs crates/circuits/src/ecc.rs crates/circuits/src/figures.rs crates/circuits/src/misc.rs crates/circuits/src/multiplier.rs crates/circuits/src/parity.rs crates/circuits/src/random_logic.rs crates/circuits/src/shifter.rs Cargo.toml
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/alu.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/comparator.rs:
+crates/circuits/src/ecc.rs:
+crates/circuits/src/figures.rs:
+crates/circuits/src/misc.rs:
+crates/circuits/src/multiplier.rs:
+crates/circuits/src/parity.rs:
+crates/circuits/src/random_logic.rs:
+crates/circuits/src/shifter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/bds_circuits-b9c5168a6135feba.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/alu.rs crates/circuits/src/builder.rs crates/circuits/src/comparator.rs crates/circuits/src/ecc.rs crates/circuits/src/figures.rs crates/circuits/src/misc.rs crates/circuits/src/multiplier.rs crates/circuits/src/parity.rs crates/circuits/src/random_logic.rs crates/circuits/src/shifter.rs
+
+/root/repo/target/debug/deps/bds_circuits-b9c5168a6135feba: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/alu.rs crates/circuits/src/builder.rs crates/circuits/src/comparator.rs crates/circuits/src/ecc.rs crates/circuits/src/figures.rs crates/circuits/src/misc.rs crates/circuits/src/multiplier.rs crates/circuits/src/parity.rs crates/circuits/src/random_logic.rs crates/circuits/src/shifter.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/alu.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/comparator.rs:
+crates/circuits/src/ecc.rs:
+crates/circuits/src/figures.rs:
+crates/circuits/src/misc.rs:
+crates/circuits/src/multiplier.rs:
+crates/circuits/src/parity.rs:
+crates/circuits/src/random_logic.rs:
+crates/circuits/src/shifter.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/bds_map-2eb01041670f05d1.d: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+/root/repo/target/debug/deps/libbds_map-2eb01041670f05d1.rlib: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+/root/repo/target/debug/deps/libbds_map-2eb01041670f05d1.rmeta: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/cover.rs:
+crates/mapper/src/genlib.rs:
+crates/mapper/src/library.rs:
+crates/mapper/src/lut.rs:
+crates/mapper/src/subject.rs:

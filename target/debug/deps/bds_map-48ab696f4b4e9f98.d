@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/bds_map-48ab696f4b4e9f98.d: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_map-48ab696f4b4e9f98.rmeta: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs Cargo.toml
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/cover.rs:
+crates/mapper/src/genlib.rs:
+crates/mapper/src/library.rs:
+crates/mapper/src/lut.rs:
+crates/mapper/src/subject.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

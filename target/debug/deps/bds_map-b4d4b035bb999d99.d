@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bds_map-b4d4b035bb999d99.d: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+/root/repo/target/debug/deps/bds_map-b4d4b035bb999d99: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/cover.rs:
+crates/mapper/src/genlib.rs:
+crates/mapper/src/library.rs:
+crates/mapper/src/lut.rs:
+crates/mapper/src/subject.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bds_network-4e05dd9251a09d7b.d: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+/root/repo/target/debug/deps/bds_network-4e05dd9251a09d7b: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+crates/network/src/lib.rs:
+crates/network/src/blif.rs:
+crates/network/src/dot.rs:
+crates/network/src/eliminate.rs:
+crates/network/src/error.rs:
+crates/network/src/global.rs:
+crates/network/src/invariants.rs:
+crates/network/src/network.rs:
+crates/network/src/stats.rs:
+crates/network/src/sweep.rs:
+crates/network/src/verify.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/bds_network-530d74f11dd805c6.d: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+/root/repo/target/debug/deps/libbds_network-530d74f11dd805c6.rlib: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+/root/repo/target/debug/deps/libbds_network-530d74f11dd805c6.rmeta: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+crates/network/src/lib.rs:
+crates/network/src/blif.rs:
+crates/network/src/dot.rs:
+crates/network/src/eliminate.rs:
+crates/network/src/error.rs:
+crates/network/src/global.rs:
+crates/network/src/invariants.rs:
+crates/network/src/network.rs:
+crates/network/src/stats.rs:
+crates/network/src/sweep.rs:
+crates/network/src/verify.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/bds_network-7a20751e6430d3c4.d: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_network-7a20751e6430d3c4.rmeta: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs Cargo.toml
+
+crates/network/src/lib.rs:
+crates/network/src/blif.rs:
+crates/network/src/dot.rs:
+crates/network/src/eliminate.rs:
+crates/network/src/error.rs:
+crates/network/src/global.rs:
+crates/network/src/invariants.rs:
+crates/network/src/network.rs:
+crates/network/src/stats.rs:
+crates/network/src/sweep.rs:
+crates/network/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bds_opt-01ebfb1cae1b8a43.d: src/bin/bds_opt.rs
+
+/root/repo/target/debug/deps/bds_opt-01ebfb1cae1b8a43: src/bin/bds_opt.rs
+
+src/bin/bds_opt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bds_opt-3d579a328ac2d5bd.d: src/bin/bds_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_opt-3d579a328ac2d5bd.rmeta: src/bin/bds_opt.rs Cargo.toml
+
+src/bin/bds_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bds_opt-7ad2b4059e1c7909.d: src/bin/bds_opt.rs
+
+/root/repo/target/debug/deps/bds_opt-7ad2b4059e1c7909: src/bin/bds_opt.rs
+
+src/bin/bds_opt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bds_opt-9c2bda04db26a3d1.d: src/bin/bds_opt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_opt-9c2bda04db26a3d1.rmeta: src/bin/bds_opt.rs Cargo.toml
+
+src/bin/bds_opt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bds_prop-381fb50a311f7329.d: crates/prop/src/lib.rs
+
+/root/repo/target/debug/deps/bds_prop-381fb50a311f7329: crates/prop/src/lib.rs
+
+crates/prop/src/lib.rs:

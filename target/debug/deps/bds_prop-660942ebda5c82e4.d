@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bds_prop-660942ebda5c82e4.d: crates/prop/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_prop-660942ebda5c82e4.rmeta: crates/prop/src/lib.rs Cargo.toml
+
+crates/prop/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

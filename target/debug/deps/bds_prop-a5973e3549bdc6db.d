@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bds_prop-a5973e3549bdc6db.d: crates/prop/src/lib.rs
+
+/root/repo/target/debug/deps/libbds_prop-a5973e3549bdc6db.rlib: crates/prop/src/lib.rs
+
+/root/repo/target/debug/deps/libbds_prop-a5973e3549bdc6db.rmeta: crates/prop/src/lib.rs
+
+crates/prop/src/lib.rs:

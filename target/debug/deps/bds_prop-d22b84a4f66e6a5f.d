@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bds_prop-d22b84a4f66e6a5f.d: crates/prop/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_prop-d22b84a4f66e6a5f.rmeta: crates/prop/src/lib.rs Cargo.toml
+
+crates/prop/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bds_repro-2ed613bb80b35b7b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_repro-2ed613bb80b35b7b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bds_repro-66f74c505fd7fbf4.d: src/lib.rs
+
+/root/repo/target/debug/deps/bds_repro-66f74c505fd7fbf4: src/lib.rs
+
+src/lib.rs:

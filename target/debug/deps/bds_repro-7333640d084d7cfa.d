@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bds_repro-7333640d084d7cfa.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbds_repro-7333640d084d7cfa.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbds_repro-7333640d084d7cfa.rmeta: src/lib.rs
+
+src/lib.rs:

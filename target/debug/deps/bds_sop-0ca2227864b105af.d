@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bds_sop-0ca2227864b105af.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+/root/repo/target/debug/deps/libbds_sop-0ca2227864b105af.rlib: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+/root/repo/target/debug/deps/libbds_sop-0ca2227864b105af.rmeta: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/cube.rs:
+crates/sop/src/division.rs:
+crates/sop/src/expr.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/kernel.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bds_sop-8f5b474255f408bf.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+/root/repo/target/debug/deps/bds_sop-8f5b474255f408bf: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/cube.rs:
+crates/sop/src/division.rs:
+crates/sop/src/expr.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/kernel.rs:

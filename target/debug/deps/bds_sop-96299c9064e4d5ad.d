@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bds_sop-96299c9064e4d5ad.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbds_sop-96299c9064e4d5ad.rmeta: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs Cargo.toml
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/cube.rs:
+crates/sop/src/division.rs:
+crates/sop/src/expr.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/kernel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

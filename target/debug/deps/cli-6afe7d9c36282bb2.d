@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-6afe7d9c36282bb2.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-6afe7d9c36282bb2: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_bds_opt=/root/repo/target/debug/bds_opt

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-c9a28e67dffc4d42.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-c9a28e67dffc4d42.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_bds_opt=placeholder:bds_opt
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decompose_scale-0635afa67b1d01af.d: crates/bds-core/tests/decompose_scale.rs
+
+/root/repo/target/debug/deps/decompose_scale-0635afa67b1d01af: crates/bds-core/tests/decompose_scale.rs
+
+crates/bds-core/tests/decompose_scale.rs:

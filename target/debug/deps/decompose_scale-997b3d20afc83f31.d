@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decompose_scale-997b3d20afc83f31.d: crates/bds-core/tests/decompose_scale.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecompose_scale-997b3d20afc83f31.rmeta: crates/bds-core/tests/decompose_scale.rs Cargo.toml
+
+crates/bds-core/tests/decompose_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fpga-471adb204e6ad202.d: crates/bench/src/bin/fpga.rs
+
+/root/repo/target/debug/deps/fpga-471adb204e6ad202: crates/bench/src/bin/fpga.rs
+
+crates/bench/src/bin/fpga.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fpga-8e115f8fd19159f3.d: crates/bench/src/bin/fpga.rs
+
+/root/repo/target/debug/deps/fpga-8e115f8fd19159f3: crates/bench/src/bin/fpga.rs
+
+crates/bench/src/bin/fpga.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fpga-cff74254a7d38426.d: crates/bench/src/bin/fpga.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfpga-cff74254a7d38426.rmeta: crates/bench/src/bin/fpga.rs Cargo.toml
+
+crates/bench/src/bin/fpga.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_figures-1731cf70489fdaf3.d: tests/integration_figures.rs
+
+/root/repo/target/debug/deps/integration_figures-1731cf70489fdaf3: tests/integration_figures.rs
+
+tests/integration_figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_figures-5411fd280663c52f.d: tests/integration_figures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_figures-5411fd280663c52f.rmeta: tests/integration_figures.rs Cargo.toml
+
+tests/integration_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_flow-6192afb2c0c3c509.d: tests/integration_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_flow-6192afb2c0c3c509.rmeta: tests/integration_flow.rs Cargo.toml
+
+tests/integration_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

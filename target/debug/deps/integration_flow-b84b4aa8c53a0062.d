@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_flow-b84b4aa8c53a0062.d: tests/integration_flow.rs
+
+/root/repo/target/debug/deps/integration_flow-b84b4aa8c53a0062: tests/integration_flow.rs
+
+tests/integration_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_bdd-2b118aaee74a9040.d: crates/bench/benches/micro_bdd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_bdd-2b118aaee74a9040.rmeta: crates/bench/benches/micro_bdd.rs Cargo.toml
+
+crates/bench/benches/micro_bdd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

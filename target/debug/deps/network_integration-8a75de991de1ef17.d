@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_integration-8a75de991de1ef17.d: crates/network/tests/network_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_integration-8a75de991de1ef17.rmeta: crates/network/tests/network_integration.rs Cargo.toml
+
+crates/network/tests/network_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_integration-a064bf2b1b911a81.d: crates/network/tests/network_integration.rs
+
+/root/repo/target/debug/deps/network_integration-a064bf2b1b911a81: crates/network/tests/network_integration.rs
+
+crates/network/tests/network_integration.rs:

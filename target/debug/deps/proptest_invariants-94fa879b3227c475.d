@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-94fa879b3227c475.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-94fa879b3227c475: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-0021cc8fbc72174a.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-0021cc8fbc72174a: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scaling-b600afe118bb1390.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/debug/deps/scaling-b600afe118bb1390: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sop_properties-a87d3adb8b80806f.d: crates/sop/tests/sop_properties.rs
+
+/root/repo/target/debug/deps/sop_properties-a87d3adb8b80806f: crates/sop/tests/sop_properties.rs
+
+crates/sop/tests/sop_properties.rs:

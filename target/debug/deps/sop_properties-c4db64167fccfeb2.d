@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sop_properties-c4db64167fccfeb2.d: crates/sop/tests/sop_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsop_properties-c4db64167fccfeb2.rmeta: crates/sop/tests/sop_properties.rs Cargo.toml
+
+crates/sop/tests/sop_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-4f452f6753fbde63.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-4f452f6753fbde63: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

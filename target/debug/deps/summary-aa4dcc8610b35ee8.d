@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/summary-aa4dcc8610b35ee8.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/debug/deps/summary-aa4dcc8610b35ee8: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-1beff6f3871e8408.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-1beff6f3871e8408: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

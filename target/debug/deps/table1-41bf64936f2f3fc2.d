@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-41bf64936f2f3fc2.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-41bf64936f2f3fc2: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-9527da99a048da84.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-9527da99a048da84: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

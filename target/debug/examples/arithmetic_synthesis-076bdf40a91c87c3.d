@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/arithmetic_synthesis-076bdf40a91c87c3.d: examples/arithmetic_synthesis.rs
+
+/root/repo/target/debug/examples/arithmetic_synthesis-076bdf40a91c87c3: examples/arithmetic_synthesis.rs
+
+examples/arithmetic_synthesis.rs:

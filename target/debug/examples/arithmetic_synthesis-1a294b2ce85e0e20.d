@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/arithmetic_synthesis-1a294b2ce85e0e20.d: examples/arithmetic_synthesis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libarithmetic_synthesis-1a294b2ce85e0e20.rmeta: examples/arithmetic_synthesis.rs Cargo.toml
+
+examples/arithmetic_synthesis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

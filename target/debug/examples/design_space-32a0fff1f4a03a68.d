@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-32a0fff1f4a03a68.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-32a0fff1f4a03a68: examples/design_space.rs
+
+examples/design_space.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/paper_figures-39896d96cf27a48c.d: examples/paper_figures.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpaper_figures-39896d96cf27a48c.rmeta: examples/paper_figures.rs Cargo.toml
+
+examples/paper_figures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/paper_figures-aac2b77ef6674eed.d: examples/paper_figures.rs
+
+/root/repo/target/debug/examples/paper_figures-aac2b77ef6674eed: examples/paper_figures.rs
+
+examples/paper_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-3326c2b9701aeb12.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-3326c2b9701aeb12: examples/quickstart.rs
+
+examples/quickstart.rs:

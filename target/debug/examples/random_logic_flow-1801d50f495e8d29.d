@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/random_logic_flow-1801d50f495e8d29.d: examples/random_logic_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/librandom_logic_flow-1801d50f495e8d29.rmeta: examples/random_logic_flow.rs Cargo.toml
+
+examples/random_logic_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/random_logic_flow-2118ce1450aad1cd.d: examples/random_logic_flow.rs
+
+/root/repo/target/debug/examples/random_logic_flow-2118ce1450aad1cd: examples/random_logic_flow.rs
+
+examples/random_logic_flow.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/debug/libbds_prop.rlib: /root/repo/crates/prop/src/lib.rs

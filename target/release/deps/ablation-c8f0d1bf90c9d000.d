@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation-c8f0d1bf90c9d000.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/release/deps/ablation-c8f0d1bf90c9d000: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bds-80df1ce169d2bf6c.d: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs
+
+/root/repo/target/release/deps/libbds-80df1ce169d2bf6c.rlib: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs
+
+/root/repo/target/release/deps/libbds-80df1ce169d2bf6c.rmeta: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs
+
+crates/bds-core/src/lib.rs:
+crates/bds-core/src/decompose.rs:
+crates/bds-core/src/dominators.rs:
+crates/bds-core/src/factor_tree.rs:
+crates/bds-core/src/flow.rs:
+crates/bds-core/src/gendom.rs:
+crates/bds-core/src/lifted.rs:
+crates/bds-core/src/mux.rs:
+crates/bds-core/src/sdc.rs:
+crates/bds-core/src/sharing.rs:
+crates/bds-core/src/sis_flow.rs:
+crates/bds-core/src/xor_decomp.rs:

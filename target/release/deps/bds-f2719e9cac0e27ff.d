@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bds-f2719e9cac0e27ff.d: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs
+
+/root/repo/target/release/deps/libbds-f2719e9cac0e27ff.rlib: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs
+
+/root/repo/target/release/deps/libbds-f2719e9cac0e27ff.rmeta: crates/bds-core/src/lib.rs crates/bds-core/src/decompose.rs crates/bds-core/src/dominators.rs crates/bds-core/src/factor_tree.rs crates/bds-core/src/flow.rs crates/bds-core/src/gendom.rs crates/bds-core/src/lifted.rs crates/bds-core/src/mux.rs crates/bds-core/src/sdc.rs crates/bds-core/src/sharing.rs crates/bds-core/src/sis_flow.rs crates/bds-core/src/xor_decomp.rs
+
+crates/bds-core/src/lib.rs:
+crates/bds-core/src/decompose.rs:
+crates/bds-core/src/dominators.rs:
+crates/bds-core/src/factor_tree.rs:
+crates/bds-core/src/flow.rs:
+crates/bds-core/src/gendom.rs:
+crates/bds-core/src/lifted.rs:
+crates/bds-core/src/mux.rs:
+crates/bds-core/src/sdc.rs:
+crates/bds-core/src/sharing.rs:
+crates/bds-core/src/sis_flow.rs:
+crates/bds-core/src/xor_decomp.rs:

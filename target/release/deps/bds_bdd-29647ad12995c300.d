@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/bds_bdd-29647ad12995c300.d: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs
+
+/root/repo/target/release/deps/libbds_bdd-29647ad12995c300.rlib: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs
+
+/root/repo/target/release/deps/libbds_bdd-29647ad12995c300.rmeta: crates/bdd/src/lib.rs crates/bdd/src/apply.rs crates/bdd/src/cofactor.rs crates/bdd/src/count.rs crates/bdd/src/cube.rs crates/bdd/src/dot.rs crates/bdd/src/edge.rs crates/bdd/src/error.rs crates/bdd/src/invariants.rs crates/bdd/src/isop.rs crates/bdd/src/manager.rs crates/bdd/src/reorder.rs crates/bdd/src/restrict.rs crates/bdd/src/satisfy.rs crates/bdd/src/transfer.rs
+
+crates/bdd/src/lib.rs:
+crates/bdd/src/apply.rs:
+crates/bdd/src/cofactor.rs:
+crates/bdd/src/count.rs:
+crates/bdd/src/cube.rs:
+crates/bdd/src/dot.rs:
+crates/bdd/src/edge.rs:
+crates/bdd/src/error.rs:
+crates/bdd/src/invariants.rs:
+crates/bdd/src/isop.rs:
+crates/bdd/src/manager.rs:
+crates/bdd/src/reorder.rs:
+crates/bdd/src/restrict.rs:
+crates/bdd/src/satisfy.rs:
+crates/bdd/src/transfer.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bds_bench-dae2762f2a70f5ec.d: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbds_bench-dae2762f2a70f5ec.rlib: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libbds_bench-dae2762f2a70f5ec.rmeta: crates/bench/src/lib.rs crates/bench/src/harness.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/timing.rs:

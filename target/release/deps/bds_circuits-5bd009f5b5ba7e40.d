@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bds_circuits-5bd009f5b5ba7e40.d: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/alu.rs crates/circuits/src/builder.rs crates/circuits/src/comparator.rs crates/circuits/src/ecc.rs crates/circuits/src/figures.rs crates/circuits/src/misc.rs crates/circuits/src/multiplier.rs crates/circuits/src/parity.rs crates/circuits/src/random_logic.rs crates/circuits/src/shifter.rs
+
+/root/repo/target/release/deps/libbds_circuits-5bd009f5b5ba7e40.rlib: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/alu.rs crates/circuits/src/builder.rs crates/circuits/src/comparator.rs crates/circuits/src/ecc.rs crates/circuits/src/figures.rs crates/circuits/src/misc.rs crates/circuits/src/multiplier.rs crates/circuits/src/parity.rs crates/circuits/src/random_logic.rs crates/circuits/src/shifter.rs
+
+/root/repo/target/release/deps/libbds_circuits-5bd009f5b5ba7e40.rmeta: crates/circuits/src/lib.rs crates/circuits/src/adder.rs crates/circuits/src/alu.rs crates/circuits/src/builder.rs crates/circuits/src/comparator.rs crates/circuits/src/ecc.rs crates/circuits/src/figures.rs crates/circuits/src/misc.rs crates/circuits/src/multiplier.rs crates/circuits/src/parity.rs crates/circuits/src/random_logic.rs crates/circuits/src/shifter.rs
+
+crates/circuits/src/lib.rs:
+crates/circuits/src/adder.rs:
+crates/circuits/src/alu.rs:
+crates/circuits/src/builder.rs:
+crates/circuits/src/comparator.rs:
+crates/circuits/src/ecc.rs:
+crates/circuits/src/figures.rs:
+crates/circuits/src/misc.rs:
+crates/circuits/src/multiplier.rs:
+crates/circuits/src/parity.rs:
+crates/circuits/src/random_logic.rs:
+crates/circuits/src/shifter.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bds_map-5b43b087eb29d855.d: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+/root/repo/target/release/deps/libbds_map-5b43b087eb29d855.rlib: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+/root/repo/target/release/deps/libbds_map-5b43b087eb29d855.rmeta: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/cover.rs:
+crates/mapper/src/genlib.rs:
+crates/mapper/src/library.rs:
+crates/mapper/src/lut.rs:
+crates/mapper/src/subject.rs:

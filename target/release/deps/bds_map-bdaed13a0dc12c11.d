@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/bds_map-bdaed13a0dc12c11.d: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+/root/repo/target/release/deps/libbds_map-bdaed13a0dc12c11.rlib: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+/root/repo/target/release/deps/libbds_map-bdaed13a0dc12c11.rmeta: crates/mapper/src/lib.rs crates/mapper/src/cover.rs crates/mapper/src/genlib.rs crates/mapper/src/library.rs crates/mapper/src/lut.rs crates/mapper/src/subject.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/cover.rs:
+crates/mapper/src/genlib.rs:
+crates/mapper/src/library.rs:
+crates/mapper/src/lut.rs:
+crates/mapper/src/subject.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/bds_network-328df1110f686545.d: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+/root/repo/target/release/deps/libbds_network-328df1110f686545.rlib: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+/root/repo/target/release/deps/libbds_network-328df1110f686545.rmeta: crates/network/src/lib.rs crates/network/src/blif.rs crates/network/src/dot.rs crates/network/src/eliminate.rs crates/network/src/error.rs crates/network/src/global.rs crates/network/src/invariants.rs crates/network/src/network.rs crates/network/src/stats.rs crates/network/src/sweep.rs crates/network/src/verify.rs
+
+crates/network/src/lib.rs:
+crates/network/src/blif.rs:
+crates/network/src/dot.rs:
+crates/network/src/eliminate.rs:
+crates/network/src/error.rs:
+crates/network/src/global.rs:
+crates/network/src/invariants.rs:
+crates/network/src/network.rs:
+crates/network/src/stats.rs:
+crates/network/src/sweep.rs:
+crates/network/src/verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bds_opt-a0a6f255d39f2675.d: src/bin/bds_opt.rs
+
+/root/repo/target/release/deps/bds_opt-a0a6f255d39f2675: src/bin/bds_opt.rs
+
+src/bin/bds_opt.rs:

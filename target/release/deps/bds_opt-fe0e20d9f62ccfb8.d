@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bds_opt-fe0e20d9f62ccfb8.d: src/bin/bds_opt.rs
+
+/root/repo/target/release/deps/bds_opt-fe0e20d9f62ccfb8: src/bin/bds_opt.rs
+
+src/bin/bds_opt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bds_prop-b0ba14c3199df31b.d: crates/prop/src/lib.rs
+
+/root/repo/target/release/deps/libbds_prop-b0ba14c3199df31b.rlib: crates/prop/src/lib.rs
+
+/root/repo/target/release/deps/libbds_prop-b0ba14c3199df31b.rmeta: crates/prop/src/lib.rs
+
+crates/prop/src/lib.rs:

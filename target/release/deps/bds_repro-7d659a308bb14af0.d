@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bds_repro-7d659a308bb14af0.d: src/lib.rs
+
+/root/repo/target/release/deps/libbds_repro-7d659a308bb14af0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbds_repro-7d659a308bb14af0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bds_repro-ec214d4f260a5859.d: src/lib.rs
+
+/root/repo/target/release/deps/libbds_repro-ec214d4f260a5859.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbds_repro-ec214d4f260a5859.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bds_sop-27640de84bd7461a.d: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+/root/repo/target/release/deps/libbds_sop-27640de84bd7461a.rlib: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+/root/repo/target/release/deps/libbds_sop-27640de84bd7461a.rmeta: crates/sop/src/lib.rs crates/sop/src/cover.rs crates/sop/src/cube.rs crates/sop/src/division.rs crates/sop/src/expr.rs crates/sop/src/factor.rs crates/sop/src/kernel.rs
+
+crates/sop/src/lib.rs:
+crates/sop/src/cover.rs:
+crates/sop/src/cube.rs:
+crates/sop/src/division.rs:
+crates/sop/src/expr.rs:
+crates/sop/src/factor.rs:
+crates/sop/src/kernel.rs:

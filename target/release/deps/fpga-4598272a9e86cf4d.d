@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fpga-4598272a9e86cf4d.d: crates/bench/src/bin/fpga.rs
+
+/root/repo/target/release/deps/fpga-4598272a9e86cf4d: crates/bench/src/bin/fpga.rs
+
+crates/bench/src/bin/fpga.rs:

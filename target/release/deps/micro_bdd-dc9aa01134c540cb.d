@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_bdd-dc9aa01134c540cb.d: crates/bench/benches/micro_bdd.rs
+
+/root/repo/target/release/deps/micro_bdd-dc9aa01134c540cb: crates/bench/benches/micro_bdd.rs
+
+crates/bench/benches/micro_bdd.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/scaling-a700d321f02a72d7.d: crates/bench/src/bin/scaling.rs
+
+/root/repo/target/release/deps/scaling-a700d321f02a72d7: crates/bench/src/bin/scaling.rs
+
+crates/bench/src/bin/scaling.rs:

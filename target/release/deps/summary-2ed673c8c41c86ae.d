@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/summary-2ed673c8c41c86ae.d: crates/bench/src/bin/summary.rs
+
+/root/repo/target/release/deps/summary-2ed673c8c41c86ae: crates/bench/src/bin/summary.rs
+
+crates/bench/src/bin/summary.rs:

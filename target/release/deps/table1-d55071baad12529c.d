@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d55071baad12529c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d55071baad12529c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-ee671d179e931844.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-ee671d179e931844: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/random_logic_flow-af257715c33ce287.d: examples/random_logic_flow.rs
+
+/root/repo/target/release/examples/random_logic_flow-af257715c33ce287: examples/random_logic_flow.rs
+
+examples/random_logic_flow.rs:

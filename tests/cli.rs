@@ -41,7 +41,11 @@ fn optimizes_verifies_and_emits_blif() {
         .arg(&input)
         .output()
         .expect("bds_opt runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("equivalent"), "must verify: {stderr}");
     assert!(stderr.contains("mapped:"), "must report mapping: {stderr}");
@@ -90,7 +94,10 @@ fn bad_usage_fails_cleanly() {
 
 #[test]
 fn missing_file_reports_error() {
-    let out = bds_opt().arg("/nonexistent/definitely_missing.blif").output().expect("runs");
+    let out = bds_opt()
+        .arg("/nonexistent/definitely_missing.blif")
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error:"));
 }

@@ -9,7 +9,12 @@ use bds_repro::core::factor_tree::FactorForest;
 
 fn decompose_figure(
     fig: figures::Figure,
-) -> (Manager, FactorForest, Vec<bds_repro::core::factor_tree::FactorRef>, Decomposer) {
+) -> (
+    Manager,
+    FactorForest,
+    Vec<bds_repro::core::factor_tree::FactorRef>,
+    Decomposer,
+) {
     let mut mgr = fig.manager;
     let mut forest = FactorForest::new();
     let mut dec = Decomposer::new();
@@ -17,7 +22,10 @@ fn decompose_figure(
     let roots: Vec<_> = fig
         .functions
         .iter()
-        .map(|&f| dec.decompose(&mut mgr, f, &mut forest, &params).expect("decompose"))
+        .map(|&f| {
+            dec.decompose(&mut mgr, f, &mut forest, &params)
+                .expect("decompose")
+        })
         .collect();
     (mgr, forest, roots, dec)
 }
@@ -55,9 +63,17 @@ fn fig1_is_a_functional_mux() {
 #[test]
 fn fig2_uses_algebraic_dominators() {
     let (_, _, _, dec) = decompose_figure(figures::fig2_conjunctive());
-    assert!(dec.stats.and_dom >= 1, "Karplus AND decomposition: {:?}", dec.stats);
+    assert!(
+        dec.stats.and_dom >= 1,
+        "Karplus AND decomposition: {:?}",
+        dec.stats
+    );
     let (_, _, _, dec) = decompose_figure(figures::fig2_disjunctive());
-    assert!(dec.stats.or_dom >= 1, "Karplus OR decomposition: {:?}", dec.stats);
+    assert!(
+        dec.stats.or_dom >= 1,
+        "Karplus OR decomposition: {:?}",
+        dec.stats
+    );
 }
 
 #[test]
@@ -127,7 +143,7 @@ fn figure_decompositions_beat_flat_sop_literals() {
         let (mut mgr, forest, roots, _) = decompose_figure(fig);
         for (f, root) in functions.iter().zip(&roots) {
             let (cubes, _) = mgr.isop(*f, *f).expect("isop");
-            let flat: usize = cubes.iter().map(|c| c.len()).sum();
+            let flat: usize = cubes.iter().map(bds_repro::bdd::Cube::len).sum();
             let ours = forest.literal_count(*root);
             assert!(
                 ours <= flat.max(2),

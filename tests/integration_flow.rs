@@ -78,7 +78,12 @@ fn misc_families_survive_both_flows() {
 fn random_logic_survives_both_flows() {
     for seed in [1u64, 2, 3] {
         let net = random_logic(
-            &RandomLogicParams { inputs: 10, outputs: 5, nodes: 30, ..Default::default() },
+            &RandomLogicParams {
+                inputs: 10,
+                outputs: 5,
+                nodes: 30,
+                ..Default::default()
+            },
             seed,
         );
         assert_both_flows_sound(&format!("rand{seed}"), &net);
