@@ -15,6 +15,7 @@ impl Manager {
     /// # Errors
     /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
     pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Result<Edge> {
+        self.ops.ite_calls += 1;
         // --- terminal cases -------------------------------------------------
         if f.is_one() {
             return Ok(g);
@@ -103,8 +104,10 @@ impl Manager {
         }
 
         if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
+            self.ops.cache_hits += 1;
             return Ok(cached.complement_if(negate));
         }
+        self.ops.cache_misses += 1;
 
         // --- recursion -------------------------------------------------------
         let level = self

@@ -75,6 +75,7 @@ mod manager;
 pub mod reorder;
 mod restrict;
 mod satisfy;
+mod stats;
 /// Cross-manager BDD transfer (rebuild under a new variable order).
 pub mod transfer;
 
@@ -83,6 +84,7 @@ pub use edge::{Edge, Var};
 pub use error::BddError;
 pub use invariants::STRICT_CHECKS;
 pub use manager::Manager;
+pub use stats::{OpStats, TableStats};
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, BddError>;

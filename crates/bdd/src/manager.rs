@@ -4,6 +4,7 @@ use std::collections::HashMap;
 
 use crate::edge::{Edge, Var};
 use crate::error::BddError;
+use crate::stats::OpStats;
 use crate::Result;
 
 /// Level of the terminal node — below every variable.
@@ -49,6 +50,8 @@ pub struct Manager {
     /// level -> var index.
     pub(crate) var_at_level: Vec<u32>,
     node_limit: usize,
+    /// Lifetime operation counters (see [`crate::TableStats`]).
+    pub(crate) ops: OpStats,
 }
 
 impl Manager {
@@ -76,6 +79,7 @@ impl Manager {
             level_of_var: Vec::new(),
             var_at_level: Vec::new(),
             node_limit: limit,
+            ops: OpStats::default(),
         }
     }
 
@@ -221,6 +225,7 @@ impl Manager {
         debug_assert!(!high.is_complemented());
         debug_assert!(level < self.node_level(high) && level < self.node_level(low));
         if let Some(&idx) = self.unique.get(&(level, high, low)) {
+            self.ops.unique_hits += 1;
             return Ok(Edge::new(idx, false));
         }
         if self.nodes.len() >= self.node_limit {
@@ -231,6 +236,7 @@ impl Manager {
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node { level, high, low });
         self.unique.insert((level, high, low), idx);
+        self.ops.nodes_created += 1;
         Ok(Edge::new(idx, false))
     }
 

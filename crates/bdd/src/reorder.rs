@@ -94,6 +94,7 @@ pub fn reorder(src: &Manager, roots: &[Edge], order: &[Var]) -> Result<(Manager,
 /// Propagates node-limit errors from rebuilds (a candidate order whose
 /// rebuild overflows is simply skipped; only the final rebuild can fail).
 pub fn sift(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manager, Vec<Edge>)> {
+    let _span = bds_trace::span!("bdd.sift");
     let base_order = src.order();
     let start_size = src.count_nodes(roots);
     if start_size > limits.max_nodes || src.var_count() <= 2 {
@@ -105,6 +106,7 @@ pub fn sift(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manage
     let mut best_size = best_mgr.count_nodes(&best_roots);
 
     for _pass in 0..limits.passes {
+        bds_trace::counter!("bdd.reorder.passes");
         let improved_before_pass = best_size;
         // Sift the support variables, most populous level first.
         let support = best_mgr.support_of(&best_roots);
@@ -127,10 +129,12 @@ pub fn sift(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manage
                 let mut order = cur_order.clone();
                 let v = order.remove(cur_pos);
                 order.insert(pos, v);
+                bds_trace::counter!("bdd.reorder.rebuilds");
                 match reorder(&best_mgr, &best_roots, &order) {
                     Ok((m, r)) => {
                         let size = m.count_nodes(&r);
                         if size < best_size {
+                            bds_trace::counter!("bdd.reorder.accepted_moves");
                             best_size = size;
                             best_pos = pos;
                             best_mgr = m;
@@ -249,6 +253,7 @@ mod tests {
 /// Node-limit errors from the final rebuild (candidate orders that blow
 /// up are skipped).
 pub fn window3(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manager, Vec<Edge>)> {
+    let _span = bds_trace::span!("bdd.window3");
     let base_order = src.order();
     if src.count_nodes(roots) > limits.max_nodes || src.var_count() < 3 {
         return reorder(src, roots, &base_order);
@@ -256,6 +261,7 @@ pub fn window3(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Man
     let (mut best_mgr, mut best_roots) = reorder(src, roots, &base_order)?;
     let mut best_size = best_mgr.count_nodes(&best_roots);
     for _pass in 0..limits.passes.max(1) {
+        bds_trace::counter!("bdd.reorder.passes");
         let before = best_size;
         let n = best_mgr.var_count();
         for start in 0..n.saturating_sub(2) {
@@ -275,9 +281,11 @@ pub fn window3(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Man
                 for (slot, &take) in perm.iter().enumerate() {
                     order[start + slot] = window[take];
                 }
+                bds_trace::counter!("bdd.reorder.rebuilds");
                 if let Ok((m, r)) = reorder(&best_mgr, &best_roots, &order) {
                     let size = m.count_nodes(&r);
                     if size < best_size {
+                        bds_trace::counter!("bdd.reorder.accepted_moves");
                         best_size = size;
                         best_mgr = m;
                         best_roots = r;

@@ -39,6 +39,7 @@ impl Manager {
     /// # }
     /// ```
     pub fn restrict(&mut self, f: Edge, c: Edge) -> Result<Edge> {
+        self.ops.restrict_calls += 1;
         let mut memo = HashMap::new();
         self.restrict_rec(f, c, &mut memo)
     }

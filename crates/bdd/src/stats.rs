@@ -1,0 +1,189 @@
+//! Operation counters and table statistics for the [`Manager`].
+//!
+//! The counters answer the questions the paper's evaluation and the
+//! ROADMAP's performance work keep asking: how hard is the computed
+//! table working (hit rate), how loaded is the unique table, and how
+//! much structure did `restrict`/`ite` actually chew through. They are
+//! plain `u64` field increments on paths that already mutate the
+//! manager, so they stay on unconditionally; the registry-level `trace`
+//! feature only affects the `bds-trace` macros layered on top.
+
+use crate::manager::Manager;
+
+/// Monotonic operation counters accumulated over a [`Manager`]'s
+/// lifetime. Obtain a copy via [`Manager::op_stats`] or as part of
+/// [`Manager::table_stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Total `ite` invocations, including internal recursive calls.
+    pub ite_calls: u64,
+    /// Computed-table lookups that found a memoized result.
+    pub cache_hits: u64,
+    /// Computed-table lookups that missed and forced a recursion.
+    pub cache_misses: u64,
+    /// Top-level `restrict` invocations.
+    pub restrict_calls: u64,
+    /// Unique-table lookups that found an existing node (hash-cons hits).
+    pub unique_hits: u64,
+    /// Decision nodes freshly created in the arena.
+    pub nodes_created: u64,
+}
+
+impl OpStats {
+    /// Adds `other`'s counts into `self` — used to aggregate over the
+    /// several managers a synthesis flow creates and discards.
+    pub fn merge(&mut self, other: &OpStats) {
+        self.ite_calls += other.ite_calls;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.restrict_calls += other.restrict_calls;
+        self.unique_hits += other.unique_hits;
+        self.nodes_created += other.nodes_created;
+    }
+
+    /// Computed-table hit rate in `[0, 1]`, or 0.0 before any lookup.
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            // Counter magnitudes sit far below f64's exact-integer range.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.cache_hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// A point-in-time snapshot of a [`Manager`]'s tables, returned by
+/// [`Manager::table_stats`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableStats {
+    /// Live nodes in the arena, including the terminal.
+    pub arena_nodes: usize,
+    /// Entries in the unique (hash-cons) table.
+    pub unique_entries: usize,
+    /// Allocated capacity of the unique table.
+    pub unique_capacity: usize,
+    /// Entries in the ITE computed table.
+    pub computed_entries: usize,
+    /// Allocated capacity of the computed table.
+    pub computed_capacity: usize,
+    /// Operation counters accumulated since the manager was created.
+    pub ops: OpStats,
+}
+
+impl TableStats {
+    /// Unique-table load factor `entries / capacity` in `[0, 1]`, or 0.0
+    /// while the table is unallocated.
+    #[must_use]
+    pub fn unique_load_factor(&self) -> f64 {
+        if self.unique_capacity == 0 {
+            0.0
+        } else {
+            // Table sizes sit far below f64's exact-integer range.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.unique_entries as f64 / self.unique_capacity as f64
+            }
+        }
+    }
+
+    /// Computed-table hit rate in `[0, 1]` (see [`OpStats::cache_hit_rate`]).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.ops.cache_hit_rate()
+    }
+}
+
+impl Manager {
+    /// Snapshots the sizes and load of the unique and computed tables
+    /// together with the lifetime operation counters.
+    #[must_use]
+    pub fn table_stats(&self) -> TableStats {
+        TableStats {
+            arena_nodes: self.nodes.len(),
+            unique_entries: self.unique.len(),
+            unique_capacity: self.unique.capacity(),
+            computed_entries: self.ite_cache.len(),
+            computed_capacity: self.ite_cache.capacity(),
+            ops: self.ops,
+        }
+    }
+
+    /// Copies the lifetime operation counters.
+    #[must_use]
+    pub fn op_stats(&self) -> OpStats {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_ite_and_tables() {
+        let mut m = Manager::new();
+        let a = m.new_var("a");
+        let b = m.new_var("b");
+        let la = m.literal(a, true);
+        let lb = m.literal(b, true);
+        let and1 = m.and(la, lb).unwrap();
+        let before = m.table_stats();
+        assert!(before.ops.ite_calls >= 1);
+        assert!(before.ops.cache_misses >= 1);
+        assert!(before.ops.nodes_created >= 3); // two literals + the AND node
+        assert_eq!(before.arena_nodes, m.arena_size());
+        assert_eq!(before.unique_entries, before.arena_nodes - 1);
+        assert!(before.unique_capacity >= before.unique_entries);
+
+        // The symmetric call normalizes to the same computed-table key.
+        let and2 = m.and(lb, la).unwrap();
+        assert_eq!(and1, and2);
+        let after = m.table_stats();
+        assert!(after.ops.cache_hits > before.ops.cache_hits);
+        assert!(after.cache_hit_rate() > 0.0);
+        assert!(after.unique_load_factor() > 0.0 && after.unique_load_factor() <= 1.0);
+    }
+
+    #[test]
+    fn merge_sums_every_field() {
+        let mut a = OpStats {
+            ite_calls: 1,
+            cache_hits: 2,
+            cache_misses: 3,
+            restrict_calls: 4,
+            unique_hits: 5,
+            nodes_created: 6,
+        };
+        let b = OpStats {
+            ite_calls: 10,
+            cache_hits: 20,
+            cache_misses: 30,
+            restrict_calls: 40,
+            unique_hits: 50,
+            nodes_created: 60,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            OpStats {
+                ite_calls: 11,
+                cache_hits: 22,
+                cache_misses: 33,
+                restrict_calls: 44,
+                unique_hits: 55,
+                nodes_created: 66,
+            }
+        );
+    }
+
+    #[test]
+    fn hit_rate_is_zero_without_lookups() {
+        assert_eq!(OpStats::default().cache_hit_rate(), 0.0);
+        assert_eq!(TableStats::default().unique_load_factor(), 0.0);
+    }
+}

@@ -62,6 +62,8 @@ pub fn transfer(src: &Manager, dst: &mut Manager, root: Edge, var_map: &[Var]) -
     }
     let mut memo: HashMap<u32, Edge> = HashMap::new();
     let out = transfer_rec(src, dst, root, var_map, &mut memo)?;
+    bds_trace::counter!("bdd.transfer.calls");
+    bds_trace::counter_add!("bdd.transfer.nodes", memo.len() as u64);
     dst.audit()?;
     Ok(out)
 }
@@ -90,10 +92,13 @@ pub fn transfer_all(
         dst.check_var(v)?;
     }
     let mut memo: HashMap<u32, Edge> = HashMap::new();
-    roots
+    let out: Result<Vec<Edge>> = roots
         .iter()
         .map(|&r| transfer_rec(src, dst, r, var_map, &mut memo))
-        .collect()
+        .collect();
+    bds_trace::counter!("bdd.transfer.calls");
+    bds_trace::counter_add!("bdd.transfer.nodes", memo.len() as u64);
+    out
 }
 
 fn transfer_rec(

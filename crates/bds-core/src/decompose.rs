@@ -103,6 +103,35 @@ pub struct DecomposeStats {
     pub shared: usize,
 }
 
+impl DecomposeStats {
+    /// Adds `other`'s counts into `self` — used by the partitioned flow
+    /// to aggregate the per-supernode decomposer statistics.
+    pub fn merge(&mut self, other: DecomposeStats) {
+        self.and_dom += other.and_dom;
+        self.or_dom += other.or_dom;
+        self.xnor_dom += other.xnor_dom;
+        self.func_mux += other.func_mux;
+        self.gen_dom += other.gen_dom;
+        self.gen_xdom += other.gen_xdom;
+        self.shannon += other.shannon;
+        self.leaves += other.leaves;
+        self.shared += other.shared;
+    }
+
+    /// Total decomposition steps of any kind (excluding leaves and cache
+    /// hits): how many times a recursion actually split a function.
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.and_dom
+            + self.or_dom
+            + self.xnor_dom
+            + self.func_mux
+            + self.gen_dom
+            + self.gen_xdom
+            + self.shannon
+    }
+}
+
 /// Decomposition context reusable across several roots in one manager —
 /// sharing the cache across roots is what extracts common logic between
 /// outputs (paper Fig. 14).
@@ -371,6 +400,52 @@ impl Decomposer {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_merge_sums_every_field() {
+        let mut a = DecomposeStats {
+            and_dom: 1,
+            or_dom: 2,
+            xnor_dom: 3,
+            func_mux: 4,
+            gen_dom: 5,
+            gen_xdom: 6,
+            shannon: 7,
+            leaves: 8,
+            shared: 9,
+        };
+        let b = DecomposeStats {
+            and_dom: 10,
+            or_dom: 20,
+            xnor_dom: 30,
+            func_mux: 40,
+            gen_dom: 50,
+            gen_xdom: 60,
+            shannon: 70,
+            leaves: 80,
+            shared: 90,
+        };
+        a.merge(b);
+        assert_eq!(
+            a,
+            DecomposeStats {
+                and_dom: 11,
+                or_dom: 22,
+                xnor_dom: 33,
+                func_mux: 44,
+                gen_dom: 55,
+                gen_xdom: 66,
+                shannon: 77,
+                leaves: 88,
+                shared: 99,
+            }
+        );
+        assert_eq!(a.steps(), 11 + 22 + 33 + 44 + 55 + 66 + 77);
+        // Merging the identity changes nothing.
+        let before = a;
+        a.merge(DecomposeStats::default());
+        assert_eq!(a, before);
+    }
 
     fn check_equiv(mgr: &Manager, f: Edge, forest: &FactorForest, root: FactorRef, nvars: usize) {
         for bits in 0..1u32 << nvars {

@@ -17,11 +17,10 @@
 //! [`optimize`] picks automatically: it attempts the global build under a
 //! node budget and falls back to partitioned mode.
 
-use std::time::Instant;
-
 use bds_bdd::reorder::{sift, SiftLimits};
-use bds_bdd::Manager;
+use bds_bdd::{Manager, OpStats};
 use bds_network::{EliminateParams, Network, NetworkError, SignalId};
+use bds_trace::Stopwatch;
 
 use bds_map::{map_network, Library};
 
@@ -91,6 +90,10 @@ pub struct FlowReport {
     pub peak_bdd_nodes: usize,
     /// Nodes eliminated during partitioning.
     pub eliminated: usize,
+    /// BDD operation counters aggregated across the managers this flow
+    /// variant built and decomposed (scratch managers inside sifting and
+    /// cost probes are not included).
+    pub bdd_ops: OpStats,
 }
 
 /// Runs the full BDS flow on `net` and returns the optimized network
@@ -100,7 +103,8 @@ pub struct FlowReport {
 /// Propagates network errors; BDD node-limit errors trigger the
 /// partitioned fallback instead of failing.
 pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowReport), NetworkError> {
-    let start = Instant::now();
+    let _span = bds_trace::span!("flow");
+    let start = Stopwatch::start();
     let mut work = net.compacted()?;
     // Phase boundary: sweep audits the network on exit (strict builds).
     work.sweep()?;
@@ -129,7 +133,7 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
                         out = out.compacted()?;
                     }
                     out.audit()?;
-                    report.seconds = start.elapsed().as_secs_f64();
+                    report.seconds = start.seconds();
                     return Ok((out, report));
                 }
                 candidates.push((out, report));
@@ -174,7 +178,7 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
     }
     // Phase boundary: final selected network must be structurally sound.
     out.audit()?;
-    report.seconds = start.elapsed().as_secs_f64();
+    report.seconds = start.seconds();
     Ok((out, report))
 }
 
@@ -187,9 +191,13 @@ pub fn optimize_global(
     net: &Network,
     params: &FlowParams,
 ) -> Result<(Network, FlowReport), NetworkError> {
-    let (mgr, edges, var_of) = net.global_bdds(params.global_limit)?;
-    // Phase boundary: the freshly built global manager must be canonical.
-    mgr.audit().map_err(NetworkError::Bdd)?;
+    let (mgr, edges, var_of) = {
+        let _span = bds_trace::span!("flow.build");
+        let built = net.global_bdds(params.global_limit)?;
+        // Phase boundary: the freshly built global manager must be canonical.
+        built.0.audit().map_err(NetworkError::Bdd)?;
+        built
+    };
     // Structure-loss guard: when the global form dwarfs the netlist
     // (multiplier-like circuits), report a node-limit condition so the
     // caller falls back to the partitioned flow.
@@ -201,18 +209,27 @@ pub fn optimize_global(
         }));
     }
     let peak0 = mgr.arena_size();
+    let mut ops = mgr.op_stats();
     // Reorder (paper §IV-C: reordering precedes decomposition).
-    let (mut mgr, edges) = sift(&mgr, &edges, params.sift).map_err(NetworkError::Bdd)?;
+    let (mut mgr, edges) = {
+        let _span = bds_trace::span!("flow.reorder");
+        sift(&mgr, &edges, params.sift).map_err(NetworkError::Bdd)?
+    };
     let mut forest = FactorForest::new();
     let mut dec = Decomposer::new();
     let mut roots = Vec::with_capacity(edges.len());
-    for &e in &edges {
-        roots.push(
-            dec.decompose(&mut mgr, e, &mut forest, &params.decompose)
-                .map_err(NetworkError::Bdd)?,
-        );
+    {
+        let _span = bds_trace::span!("flow.decompose");
+        for &e in &edges {
+            roots.push(
+                dec.decompose(&mut mgr, e, &mut forest, &params.decompose)
+                    .map_err(NetworkError::Bdd)?,
+            );
+        }
     }
+    ops.merge(&mgr.op_stats());
 
+    let _sharing_span = bds_trace::span!("flow.sharing");
     let mut out = Network::new(net.name());
     // var index → output-network input signal.
     let mut var_slots: Vec<Option<SignalId>> = vec![None; mgr.var_count()];
@@ -236,6 +253,14 @@ pub fn optimize_global(
     }
     out.sweep()?;
     let out = out.compacted()?;
+    let table = mgr.table_stats();
+    bds_trace::gauge!("bdd.global.unique_entries", table.unique_entries as u64);
+    bds_trace::gauge!("bdd.global.computed_entries", table.computed_entries as u64);
+    bds_trace::gauge!(
+        "bdd.global.unique_load_pct",
+        (table.unique_load_factor() * 100.0) as u64
+    );
+    publish_trace(&dec.stats, &ops);
     Ok((
         out,
         FlowReport {
@@ -244,6 +269,7 @@ pub fn optimize_global(
             seconds: 0.0,
             peak_bdd_nodes: peak0.max(mgr.arena_size()),
             eliminated: 0,
+            bdd_ops: ops,
         },
     ))
 }
@@ -261,6 +287,7 @@ pub fn optimize_partitioned(
     let work = net.compacted()?;
     let mut out = Network::new(work.name());
     let mut stats = DecomposeStats::default();
+    let mut ops = OpStats::default();
     let mut peak = 0usize;
     // work signal → out signal.
     let mut map: Vec<Option<SignalId>> = vec![None; work.signals().count()];
@@ -280,18 +307,29 @@ pub fn optimize_partitioned(
             .iter()
             .map(|&f| mgr.new_var(work.signal_name(f)))
             .collect();
-        let edge = work.local_bdd(sig, &mut mgr, &vars)?;
-        let (mut mgr, edges) = sift(&mgr, &[edge], params.sift).map_err(NetworkError::Bdd)?;
+        let edge = {
+            let _span = bds_trace::span!("flow.build", node = sig.index());
+            work.local_bdd(sig, &mut mgr, &vars)?
+        };
+        ops.merge(&mgr.op_stats());
+        let (mut mgr, edges) = {
+            let _span = bds_trace::span!("flow.reorder");
+            sift(&mgr, &[edge], params.sift).map_err(NetworkError::Bdd)?
+        };
         let edge = edges[0];
         peak = peak.max(mgr.arena_size());
 
         let mut forest = FactorForest::new();
         let mut dec = Decomposer::new();
-        let root = dec
-            .decompose(&mut mgr, edge, &mut forest, &params.decompose)
-            .map_err(NetworkError::Bdd)?;
-        accumulate(&mut stats, dec.stats);
+        let root = {
+            let _span = bds_trace::span!("flow.decompose", node = sig.index());
+            dec.decompose(&mut mgr, edge, &mut forest, &params.decompose)
+                .map_err(NetworkError::Bdd)?
+        };
+        stats.merge(dec.stats);
+        ops.merge(&mgr.op_stats());
 
+        let _sharing_span = bds_trace::span!("flow.sharing");
         let mut var_signals: Vec<SignalId> = Vec::with_capacity(fanins.len());
         for f in &fanins {
             let mapped = map[f.index()].ok_or_else(|| NetworkError::Inconsistent {
@@ -315,6 +353,7 @@ pub fn optimize_partitioned(
     }
     out.sweep()?;
     let out = out.compacted()?;
+    publish_trace(&stats, &ops);
     Ok((
         out,
         FlowReport {
@@ -323,20 +362,30 @@ pub fn optimize_partitioned(
             seconds: 0.0,
             peak_bdd_nodes: peak,
             eliminated: 0,
+            bdd_ops: ops,
         },
     ))
 }
 
-fn accumulate(into: &mut DecomposeStats, from: DecomposeStats) {
-    into.and_dom += from.and_dom;
-    into.or_dom += from.or_dom;
-    into.xnor_dom += from.xnor_dom;
-    into.func_mux += from.func_mux;
-    into.gen_dom += from.gen_dom;
-    into.gen_xdom += from.gen_xdom;
-    into.shannon += from.shannon;
-    into.leaves += from.leaves;
-    into.shared += from.shared;
+/// Publishes per-decomposition-kind counts and aggregated BDD operation
+/// counters into the `bds-trace` registry. Compiles to nothing without
+/// the `trace` feature.
+fn publish_trace(stats: &DecomposeStats, ops: &OpStats) {
+    bds_trace::counter_add!("decompose.and_dom", stats.and_dom as u64);
+    bds_trace::counter_add!("decompose.or_dom", stats.or_dom as u64);
+    bds_trace::counter_add!("decompose.xnor_dom", stats.xnor_dom as u64);
+    bds_trace::counter_add!("decompose.func_mux", stats.func_mux as u64);
+    bds_trace::counter_add!("decompose.gen_dom", stats.gen_dom as u64);
+    bds_trace::counter_add!("decompose.gen_xdom", stats.gen_xdom as u64);
+    bds_trace::counter_add!("decompose.shannon", stats.shannon as u64);
+    bds_trace::counter_add!("decompose.leaves", stats.leaves as u64);
+    bds_trace::counter_add!("decompose.shared", stats.shared as u64);
+    bds_trace::counter_add!("bdd.ite_calls", ops.ite_calls);
+    bds_trace::counter_add!("bdd.cache_hits", ops.cache_hits);
+    bds_trace::counter_add!("bdd.cache_misses", ops.cache_misses);
+    bds_trace::counter_add!("bdd.restrict_calls", ops.restrict_calls);
+    bds_trace::counter_add!("bdd.unique_hits", ops.unique_hits);
+    bds_trace::counter_add!("bdd.nodes_created", ops.nodes_created);
 }
 
 #[cfg(test)]

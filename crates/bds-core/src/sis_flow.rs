@@ -10,13 +10,13 @@
 //! technology mapper downstream.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use bds_bdd::Manager;
 use bds_network::{EliminateCost, EliminateParams, Network, NetworkError, SignalId};
 use bds_sop::division::divide;
 use bds_sop::kernel::kernels;
 use bds_sop::{Cover, Cube};
+use bds_trace::Stopwatch;
 
 /// Tuning knobs for the baseline flow.
 #[derive(Clone, Debug)]
@@ -71,7 +71,8 @@ pub fn script_rugged(
     net: &Network,
     params: &SisParams,
 ) -> Result<(Network, SisReport), NetworkError> {
-    let start = Instant::now();
+    let _span = bds_trace::span!("sis_flow");
+    let start = Stopwatch::start();
     let mut work = net.compacted()?;
     let mut report = SisReport::default();
     work.sweep()?;
@@ -88,7 +89,7 @@ pub fn script_rugged(
     work.sweep()?;
     let out = work.compacted()?;
     out.audit()?;
-    report.seconds = start.elapsed().as_secs_f64();
+    report.seconds = start.seconds();
     Ok((out, report))
 }
 

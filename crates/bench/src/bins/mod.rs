@@ -1,0 +1,13 @@
+//! The experiment entry points, as library functions.
+//!
+//! Each submodule is one experiment; the workspace root package carries
+//! a matching `src/bin/<name>.rs` shim so `cargo run --bin <name>` works
+//! from the workspace root with the root package's feature set (in
+//! particular `--features trace` to light up the instrumentation).
+
+pub mod ablation;
+pub mod fpga;
+pub mod scaling;
+pub mod summary;
+pub mod table1;
+pub mod table2;

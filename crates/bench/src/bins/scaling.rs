@@ -1,0 +1,92 @@
+//! CPU-scaling series — the trend behind Table II rendered as data: one
+//! CSV row per circuit size with both flows' runtimes, ready for
+//! plotting. This is the closest thing the paper has to a results
+//! "figure" (its figures are all worked examples), so the reproduction
+//! ships the series explicitly.
+//!
+//! Usage: `cargo run --release --bin scaling [> scaling.csv]` — with
+//! `-- --json <path>` the same series is also written as a report.
+//! Env: `BDS_SCALING_MAX_NODES` (default 2000) bounds the sweep.
+
+// lint:allow-file(panic): benchmark setup aborts loudly on broken fixtures by design
+// lint:allow-file(print): experiment binaries report to the console by design
+
+use std::process::ExitCode;
+
+use bds::flow::{optimize, FlowParams};
+use bds::sis_flow::{script_rugged, SisParams};
+use bds_circuits::adder::ripple_adder;
+use bds_circuits::multiplier::multiplier;
+use bds_circuits::shifter::barrel_shifter;
+use bds_network::Network;
+use bds_trace::json::Json;
+use bds_trace::Stopwatch;
+
+use crate::report::{envelope, parse_args, write_json};
+
+fn time_flows(net: &Network) -> (f64, f64) {
+    let t0 = Stopwatch::start();
+    let _ = script_rugged(net, &SisParams::default()).expect("baseline");
+    let sis = t0.seconds();
+    let t1 = Stopwatch::start();
+    let _ = optimize(net, &FlowParams::default()).expect("bds");
+    let bds = t1.seconds();
+    (sis, bds)
+}
+
+type Family = (&'static str, Box<dyn Fn(usize) -> Network>, Vec<usize>);
+
+/// Entry point (called by the root `scaling` bin shim).
+#[must_use]
+pub fn main() -> ExitCode {
+    let args = match parse_args("scaling", false) {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let max_nodes: usize = std::env::var("BDS_SCALING_MAX_NODES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    println!("family,size,nodes,sis_cpu_s,bds_cpu_s,speedup");
+    let mut entries: Vec<Json> = Vec::new();
+    let mut families: Vec<Family> = vec![
+        ("bshift", Box::new(barrel_shifter), vec![8, 16, 32, 64, 128]),
+        (
+            "mult",
+            Box::new(|n| multiplier(n, n)),
+            vec![2, 4, 8, 12, 16],
+        ),
+        ("adder", Box::new(ripple_adder), vec![8, 16, 32, 64, 128]),
+    ];
+    for (name, gen, sizes) in &mut families {
+        for &size in sizes.iter() {
+            let net = gen(size);
+            let nodes = net.stats().nodes;
+            if nodes > max_nodes {
+                eprintln!("skipping {name}{size} ({nodes} nodes > cap)");
+                continue;
+            }
+            let (sis, bds) = time_flows(&net);
+            let speedup = sis / bds.max(1e-9);
+            println!("{name},{size},{nodes},{sis:.4},{bds:.4},{speedup:.2}");
+            entries.push(Json::Obj(vec![
+                ("name".into(), Json::Str(format!("{name}{size}"))),
+                ("family".into(), Json::Str((*name).into())),
+                ("size".into(), Json::Int(size as u64)),
+                ("nodes".into(), Json::Int(nodes as u64)),
+                ("sis_cpu_s".into(), Json::Num(sis)),
+                ("bds_cpu_s".into(), Json::Num(bds)),
+                ("speedup".into(), Json::Num(speedup)),
+            ]));
+        }
+    }
+    if let Some(path) = &args.json {
+        let doc = envelope("scaling", entries);
+        if let Err(err) = write_json(path, &doc) {
+            eprintln!("scaling: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("scaling: wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}

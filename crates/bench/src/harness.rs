@@ -5,11 +5,12 @@
 // lint:allow-file(panic): benchmark setup aborts loudly on broken fixtures by design
 // lint:allow-file(print): rendering result tables to stdout is this module's purpose
 
-use bds::flow::{optimize, FlowParams};
+use bds::flow::{optimize, FlowParams, FlowReport};
 use bds::sis_flow::{script_rugged, SisParams};
 use bds_map::{map_network, Library, MappedNetlist};
 use bds_network::verify::{verify, verify_by_simulation, Verdict};
 use bds_network::Network;
+use bds_trace::Snapshot;
 
 /// Result of one flow on one circuit.
 #[derive(Clone, Debug)]
@@ -46,6 +47,13 @@ pub struct Row {
     pub speedup: f64,
     /// Verification status of both results.
     pub verified: &'static str,
+    /// The BDS flow's full report: mode, decomposition step counts, and
+    /// BDD operation counters (computed-table hit rate and friends).
+    pub report: FlowReport,
+    /// Trace snapshot captured across the BDS flow alone — per-phase
+    /// wall-clock spans and registry counters. Empty unless the crate is
+    /// built with the `trace` feature.
+    pub trace: Snapshot,
 }
 
 fn mapped(net: &Network, lib: &Library) -> MappedNetlist {
@@ -77,7 +85,12 @@ pub fn run_both(
     let sis_mapped = mapped(&sis_net, &lib);
     let sis_stats = sis_net.stats();
 
+    // Scope the trace registry to the BDS flow so each circuit's
+    // snapshot covers exactly one `optimize` call (the baseline flow ran
+    // above and verification below stays outside the window).
+    bds_trace::reset();
     let (bds_net, bds_report) = optimize(net, flow_params).expect("bds flow");
+    let trace = bds_trace::take_snapshot();
     let bds_mapped = mapped(&bds_net, &lib);
     let bds_stats = bds_net.stats();
 
@@ -117,6 +130,8 @@ pub fn run_both(
         },
         speedup,
         verified,
+        report: bds_report,
+        trace,
     }
 }
 

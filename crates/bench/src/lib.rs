@@ -1,6 +1,14 @@
-//! Shared helpers for the benchmark harnesses (see `src/bin/*` and
-//! `benches/*`). The real content of this crate lives in its binaries;
-//! this library only hosts utilities they share.
+//! Benchmark harnesses for the BDS reproduction.
+//!
+//! The runnable entry points live in [`bins`] — thin `src/bin/` shims in
+//! the workspace root package call into them, so every experiment is
+//! `cargo run --release --bin <name>` (optionally `--features trace` for
+//! live instrumentation and populated `--json` reports). [`harness`]
+//! runs both flows and assembles comparison rows, [`report`] serializes
+//! them, and [`timing`] is the micro-benchmark runner used by
+//! `benches/*`.
 #![forbid(unsafe_code)]
+pub mod bins;
 pub mod harness;
+pub mod report;
 pub mod timing;

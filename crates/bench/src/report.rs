@@ -1,0 +1,232 @@
+//! Machine-readable benchmark reports and shared CLI flags.
+//!
+//! Every bench binary accepts `--json <path>` (write a report) and
+//! `--trace-tree` (print the aggregated span tree per circuit). Reports
+//! share one envelope, schema `bds-trace-report/v1`:
+//!
+//! ```json
+//! {
+//!   "schema": "bds-trace-report/v1",
+//!   "bench": "table1",
+//!   "trace_enabled": true,
+//!   "circuits": [ { "name": "...", ... }, ... ]
+//! }
+//! ```
+//!
+//! Comparison rows ([`Row`]) serialize their flow report — decomposition
+//! step counts, BDD operation counters with the computed-table hit rate —
+//! plus the [`bds_trace::Snapshot`] captured across the BDS flow, whose
+//! span section carries the per-phase wall times when the `trace` feature
+//! is on. The `summary --compare` mode reads these files back through
+//! [`bds_trace::json::parse`]; no serde anywhere.
+
+// lint:allow-file(print): CLI usage errors and trace trees go to the console by design
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use bds_trace::json::Json;
+use bds_trace::Snapshot;
+
+use crate::harness::Row;
+
+/// Flags shared by the bench binaries.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    /// Write a `bds-trace-report/v1` JSON report here.
+    pub json: Option<PathBuf>,
+    /// Print the aggregated span tree after the tables.
+    pub trace_tree: bool,
+    /// Baseline report to diff against (`summary` only).
+    pub compare: Option<PathBuf>,
+}
+
+/// Parses `std::env::args` for a bench binary.
+///
+/// # Errors
+/// Returns a nonzero [`ExitCode`] (after printing usage to stderr) on an
+/// unknown flag or a missing flag argument.
+pub fn parse_args(bench: &str, accept_compare: bool) -> Result<BenchArgs, ExitCode> {
+    let mut out = BenchArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => match args.next() {
+                Some(path) => out.json = Some(PathBuf::from(path)),
+                None => return Err(usage(bench, accept_compare, "--json needs a path")),
+            },
+            "--trace-tree" => out.trace_tree = true,
+            "--compare" if accept_compare => match args.next() {
+                Some(path) => out.compare = Some(PathBuf::from(path)),
+                None => return Err(usage(bench, accept_compare, "--compare needs a path")),
+            },
+            other => {
+                return Err(usage(
+                    bench,
+                    accept_compare,
+                    &format!("unknown flag {other}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn usage(bench: &str, accept_compare: bool, problem: &str) -> ExitCode {
+    eprintln!("{bench}: {problem}");
+    let compare = if accept_compare {
+        " [--compare <report.json>]"
+    } else {
+        ""
+    };
+    eprintln!("usage: {bench} [--json <path>] [--trace-tree]{compare}");
+    ExitCode::from(2)
+}
+
+/// Wraps per-circuit entries in the common report envelope.
+#[must_use]
+pub fn envelope(bench: &str, circuits: Vec<Json>) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("bds-trace-report/v1".into())),
+        ("bench".into(), Json::Str(bench.into())),
+        ("trace_enabled".into(), Json::Bool(bds_trace::is_enabled())),
+        ("circuits".into(), Json::Arr(circuits)),
+    ])
+}
+
+fn flow_result_json(r: &crate::harness::FlowResult) -> Json {
+    Json::Obj(vec![
+        ("gates".into(), Json::Int(r.gates as u64)),
+        ("area".into(), Json::Num(r.area)),
+        ("delay".into(), Json::Num(r.delay)),
+        ("seconds".into(), Json::Num(r.seconds)),
+        ("literals".into(), Json::Int(r.literals as u64)),
+        ("xor_cells".into(), Json::Int(r.xor_cells as u64)),
+        ("mem_proxy".into(), Json::Int(r.mem_proxy as u64)),
+    ])
+}
+
+/// Serializes one comparison row, including the BDS flow's decomposition
+/// step counts, BDD operation counters, and trace snapshot.
+#[must_use]
+pub fn row_json(row: &Row) -> Json {
+    let d = &row.report.decompose;
+    let ops = &row.report.bdd_ops;
+    let decompose = Json::Obj(vec![
+        ("and_dom".into(), Json::Int(d.and_dom as u64)),
+        ("or_dom".into(), Json::Int(d.or_dom as u64)),
+        ("xnor_dom".into(), Json::Int(d.xnor_dom as u64)),
+        ("func_mux".into(), Json::Int(d.func_mux as u64)),
+        ("gen_dom".into(), Json::Int(d.gen_dom as u64)),
+        ("gen_xdom".into(), Json::Int(d.gen_xdom as u64)),
+        ("shannon".into(), Json::Int(d.shannon as u64)),
+        ("leaves".into(), Json::Int(d.leaves as u64)),
+        ("shared".into(), Json::Int(d.shared as u64)),
+    ]);
+    let bdd_ops = Json::Obj(vec![
+        ("ite_calls".into(), Json::Int(ops.ite_calls)),
+        ("cache_hits".into(), Json::Int(ops.cache_hits)),
+        ("cache_misses".into(), Json::Int(ops.cache_misses)),
+        ("cache_hit_rate".into(), Json::Num(ops.cache_hit_rate())),
+        ("restrict_calls".into(), Json::Int(ops.restrict_calls)),
+        ("unique_hits".into(), Json::Int(ops.unique_hits)),
+        ("nodes_created".into(), Json::Int(ops.nodes_created)),
+    ]);
+    Json::Obj(vec![
+        ("name".into(), Json::Str(row.name.clone())),
+        ("stands_for".into(), Json::Str(row.stands_for.into())),
+        ("verified".into(), Json::Str(row.verified.into())),
+        ("speedup".into(), Json::Num(row.speedup)),
+        ("mode".into(), Json::Str(format!("{:?}", row.report.mode))),
+        ("sis".into(), flow_result_json(&row.sis)),
+        ("bds".into(), flow_result_json(&row.bds)),
+        ("decompose".into(), decompose),
+        ("bdd_ops".into(), bdd_ops),
+        ("trace".into(), row.trace.to_json()),
+    ])
+}
+
+/// Renders `doc` to `path` (pretty, trailing newline).
+///
+/// # Errors
+/// Propagates the underlying filesystem error.
+pub fn write_json(path: &Path, doc: &Json) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, doc.render())
+}
+
+/// Standard tail for the row-based binaries: prints span trees when
+/// `--trace-tree` was given and writes the `--json` report when asked.
+///
+/// # Errors
+/// Returns a nonzero [`ExitCode`] when the report file cannot be written.
+pub fn finish_rows(args: &BenchArgs, bench: &str, rows: &[Row]) -> Result<(), ExitCode> {
+    if args.trace_tree {
+        for row in rows {
+            print_trace_tree(&row.name, &row.trace);
+        }
+    }
+    if let Some(path) = &args.json {
+        let doc = envelope(bench, rows.iter().map(row_json).collect());
+        if let Err(err) = write_json(path, &doc) {
+            eprintln!("{bench}: cannot write {}: {err}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("{bench}: wrote {}", path.display());
+    }
+    Ok(())
+}
+
+/// Prints one circuit's aggregated span tree (or a note that tracing is
+/// compiled out).
+pub fn print_trace_tree(name: &str, trace: &Snapshot) {
+    if trace.is_empty() {
+        println!("-- {name}: no trace data (build with --features trace)");
+        return;
+    }
+    println!("-- {name} --");
+    print!("{}", trace.render_tree());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bds_trace::json::parse;
+
+    #[test]
+    fn envelope_round_trips_through_parser() {
+        let doc = envelope(
+            "demo",
+            vec![Json::Obj(vec![("name".into(), Json::Str("x".into()))])],
+        );
+        let text = doc.render();
+        let back = parse(&text).expect("parses");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some("bds-trace-report/v1")
+        );
+        assert_eq!(back.get("bench").and_then(Json::as_str), Some("demo"));
+        assert_eq!(
+            back.get("trace_enabled").and_then(Json::as_bool),
+            Some(bds_trace::is_enabled())
+        );
+        let circuits = back.get("circuits").and_then(Json::as_arr).expect("array");
+        assert_eq!(circuits.len(), 1);
+        assert_eq!(circuits[0].get("name").and_then(Json::as_str), Some("x"));
+    }
+
+    #[test]
+    fn write_json_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("bds-report-test");
+        let path = dir.join("nested/out.json");
+        let _ = std::fs::remove_dir_all(&dir);
+        write_json(&path, &envelope("t", Vec::new())).expect("writes");
+        let text = std::fs::read_to_string(&path).expect("readable");
+        assert!(parse(&text).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -27,16 +27,7 @@ pub struct Measurement {
 
 impl Measurement {
     fn format_duration(d: Duration) -> String {
-        let nanos = d.as_nanos();
-        if nanos < 1_000 {
-            format!("{nanos} ns")
-        } else if nanos < 1_000_000 {
-            format!("{:.2} µs", nanos as f64 / 1e3)
-        } else if nanos < 1_000_000_000 {
-            format!("{:.2} ms", nanos as f64 / 1e6)
-        } else {
-            format!("{:.3} s", nanos as f64 / 1e9)
-        }
+        bds_trace::fmt_duration_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
     }
 }
 

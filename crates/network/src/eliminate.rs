@@ -78,6 +78,7 @@ impl Network {
     /// [`NetworkError::Inconsistent`] / [`NetworkError::Cycle`] if a
     /// collapse corrupted the network (strict builds only).
     pub fn eliminate(&mut self, params: &EliminateParams) -> Result<usize> {
+        let _span = bds_trace::span!("net.eliminate");
         let mut eliminated = 0;
         for _ in 0..params.max_passes {
             let mut changed = 0;
@@ -98,6 +99,7 @@ impl Network {
             }
             eliminated += changed;
         }
+        bds_trace::counter_add!("net.eliminate.removed", eliminated as u64);
         self.audit()?;
         Ok(eliminated)
     }
@@ -174,6 +176,7 @@ impl Network {
     /// Cost of the node driving `sig` under the configured model, still
     /// requiring the local BDD to fit within the structural cap.
     fn collapse_cost(&self, sig: SignalId, params: &EliminateParams) -> Option<usize> {
+        bds_trace::counter!("net.eliminate.cost_evals");
         match params.cost {
             EliminateCost::BddNodes => self.local_bdd_size(sig, params.max_local_bdd),
             EliminateCost::Literals => {

@@ -29,6 +29,7 @@ impl Network {
     /// rewrite would close a combinational cycle. A healthy network never
     /// produces either.
     pub fn sweep(&mut self) -> Result<usize> {
+        let _span = bds_trace::span!("net.sweep");
         let mut total = 0;
         loop {
             let mut changed = 0;
@@ -41,6 +42,7 @@ impl Network {
             }
             total += changed;
         }
+        bds_trace::counter_add!("net.sweep.rewrites", total as u64);
         self.audit()?;
         Ok(total)
     }

@@ -37,6 +37,7 @@ pub enum Verdict {
 /// [`NetworkError::Bdd`] when the global BDDs exceed `node_limit`
 /// (inconclusive — fall back to [`verify_by_simulation`]).
 pub fn verify(a: &Network, b: &Network, node_limit: usize) -> Result<Verdict> {
+    let _span = bds_trace::span!("net.verify");
     let a_in: Vec<&str> = a.inputs().iter().map(|&s| a.signal_name(s)).collect();
     let b_in: Vec<&str> = b.inputs().iter().map(|&s| b.signal_name(s)).collect();
     {
@@ -98,6 +99,7 @@ pub fn verify(a: &Network, b: &Network, node_limit: usize) -> Result<Verdict> {
 /// # Errors
 /// [`NetworkError::Inconsistent`] when the interfaces differ.
 pub fn verify_by_simulation(a: &Network, b: &Network, rounds: usize, seed: u64) -> Result<Verdict> {
+    let _span = bds_trace::span!("net.verify");
     if a.inputs().len() != b.inputs().len() {
         return Err(NetworkError::Inconsistent {
             detail: "input counts differ".into(),

@@ -1,0 +1,64 @@
+//! In-tree observability for the BDS workspace: counters, gauges, log2
+//! histograms, hierarchical wall-clock spans, and report sinks.
+//!
+//! The paper's evaluation (§V) is a table of per-phase costs — literals,
+//! BDD sizes, CPU seconds — and every performance PR in this repo reports
+//! against the same signals. `bds-trace` collects them without dragging in
+//! external dependencies:
+//!
+//! * a **process-local registry** (one per thread) holding monotonic `u64`
+//!   counters, last-write-wins gauges, and latency histograms with fixed
+//!   log2 buckets;
+//! * **hierarchical spans** — `span!("flow.eliminate")` returns a guard
+//!   that records wall-clock time into a call tree aggregated by
+//!   `(parent, name)`;
+//! * **sinks** — [`Snapshot::render_tree`] for humans and
+//!   [`Snapshot::to_json`] for `BENCH_*.json` reports, with a serde-free
+//!   parser ([`json::parse`]) so reports can be diffed and compared by the
+//!   bench `summary` tool.
+//!
+//! # Feature gating
+//!
+//! The registry, snapshot, and JSON machinery are always compiled (tests
+//! and the bench harness drive them directly), but the instrumentation
+//! macros — [`counter!`], [`counter_add!`], [`gauge!`], [`histogram!`],
+//! [`span!`] — expand to no-ops unless the `enabled` feature is on.
+//! Instrumented crates forward a `trace` feature to `bds-trace/enabled`,
+//! so a default build pays nothing on its hot paths.
+//!
+//! # Example
+//!
+//! ```
+//! bds_trace::reset();
+//! {
+//!     let _flow = bds_trace::span_enter("flow");
+//!     let _phase = bds_trace::span_enter("flow.decompose");
+//!     bds_trace::add_counter("decompose.and_dom", 3);
+//! }
+//! let snap = bds_trace::take_snapshot();
+//! assert_eq!(snap.counter("decompose.and_dom"), Some(3));
+//! let text = snap.to_json().render();
+//! let back = bds_trace::json::parse(&text).unwrap();
+//! assert_eq!(bds_trace::Snapshot::from_json(&back), Some(snap));
+//! ```
+
+#![forbid(unsafe_code)]
+
+/// Serde-free JSON value, renderer and parser for report files.
+pub mod json;
+mod macros;
+mod registry;
+mod span;
+
+pub use registry::{
+    add_counter, counter_value, record_histogram, reset, set_gauge, span_depth, take_snapshot,
+    Histogram, Snapshot, SpanSnap,
+};
+pub use span::{fmt_duration_ns, span_enter, NoopSpan, SpanGuard, Stopwatch};
+
+/// `true` when the crate was built with the `enabled` feature, i.e. the
+/// instrumentation macros are live rather than no-ops.
+#[must_use]
+pub const fn is_enabled() -> bool {
+    cfg!(feature = "enabled")
+}

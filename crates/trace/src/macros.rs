@@ -1,0 +1,126 @@
+//! Instrumentation macros, feature-gated to no-ops by default.
+//!
+//! Every macro has two definitions selected by the `enabled` feature.
+//! The disabled variants still *name* their arguments (`let _ = ...`) so
+//! call sites never grow unused-variable warnings, but evaluate nothing
+//! beyond the argument expressions themselves (which are cheap field
+//! reads or literals at every call site in this workspace).
+
+/// Increments a monotonic counter by one.
+///
+/// ```
+/// bds_trace::counter!("bdd.reorder.passes");
+/// ```
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::add_counter($name, 1)
+    };
+}
+
+/// Increments a monotonic counter by one. (No-op: `enabled` is off.)
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        let _ = $name;
+    }};
+}
+
+/// Adds an amount to a monotonic counter.
+///
+/// ```
+/// bds_trace::counter_add!("net.sweep.rewrites", 12u64);
+/// ```
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $by:expr) => {
+        $crate::add_counter($name, $by)
+    };
+}
+
+/// Adds an amount to a monotonic counter. (No-op: `enabled` is off.)
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! counter_add {
+    ($name:expr, $by:expr) => {{
+        let _ = $name;
+        let _ = &$by;
+    }};
+}
+
+/// Sets a last-write-wins gauge.
+///
+/// ```
+/// bds_trace::gauge!("bdd.unique_entries", 1024u64);
+/// ```
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {
+        $crate::set_gauge($name, $value)
+    };
+}
+
+/// Sets a last-write-wins gauge. (No-op: `enabled` is off.)
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr, $value:expr) => {{
+        let _ = $name;
+        let _ = &$value;
+    }};
+}
+
+/// Records one observation into a log2-bucketed histogram.
+///
+/// ```
+/// bds_trace::histogram!("bdd.node_count", 4096u64);
+/// ```
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {
+        $crate::record_histogram($name, $value)
+    };
+}
+
+/// Records one observation into a histogram. (No-op: `enabled` is off.)
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr, $value:expr) => {{
+        let _ = $name;
+        let _ = &$value;
+    }};
+}
+
+/// Opens a hierarchical wall-clock span; bind the result so the guard
+/// lives for the region being timed. Extra `key = value` attributes are
+/// accepted for readability at the call site (they are evaluated but not
+/// yet recorded — the aggregated tree keys on span name alone).
+///
+/// ```
+/// let _span = bds_trace::span!("decompose", node = 42u32);
+/// ```
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        $( let _ = &$value; )*
+        $crate::span_enter($name)
+    }};
+}
+
+/// Opens a span. (No-op: `enabled` is off — yields a [`crate::NoopSpan`].)
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! span {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let _ = $name;
+        $( let _ = &$value; )*
+        $crate::NoopSpan
+    }};
+}

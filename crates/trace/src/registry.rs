@@ -1,0 +1,585 @@
+//! Thread-local metric registry: counters, gauges, histograms, span tree.
+//!
+//! Each thread owns an independent registry, so parallel tests cannot
+//! contaminate each other's numbers and no locking sits on the hot path.
+//! The bench harness is single-threaded, so in practice "thread-local"
+//! means "process-local".
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+use crate::span::fmt_duration_ns;
+
+/// Number of log2 buckets in a [`Histogram`]: one per possible leading
+/// bit of a `u64` value.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A latency/size histogram with fixed log2 buckets.
+///
+/// Bucket `i` counts recorded values `v` with `bucket_index(v) == i`,
+/// where bucket 0 holds `v == 0` and bucket `i > 0` holds values whose
+/// highest set bit is `i - 1` (i.e. `2^(i-1) <= v < 2^i`). The exact sum
+/// and count are kept alongside so means stay precise.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts, indexed by [`Histogram::bucket_index`].
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Total number of recorded observations.
+    pub count: u64,
+    /// Exact sum of all recorded values (saturating).
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Log2 bucket for a value: 0 for 0, else `64 - leading_zeros`.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Mean of all observations, or 0.0 when empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            // Precision loss is acceptable for a summary statistic.
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.sum as f64 / self.count as f64
+            }
+        }
+    }
+
+    /// Inclusive lower bound of the highest non-empty bucket (a cheap
+    /// "max is at least" statistic), or 0 when empty.
+    #[must_use]
+    pub fn max_bucket_floor(&self) -> u64 {
+        for i in (0..HISTOGRAM_BUCKETS).rev() {
+            if self.buckets[i] > 0 {
+                return if i == 0 { 0 } else { 1u64 << (i - 1) };
+            }
+        }
+        0
+    }
+}
+
+/// One aggregated node of the span call tree in a [`Snapshot`].
+///
+/// Spans with the same name under the same parent are merged: `calls`
+/// counts how many guard drops landed here and `total_ns` sums their
+/// wall-clock time. Children appear in first-entered order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanSnap {
+    /// Span name as passed to `span!` / [`crate::span_enter`].
+    pub name: String,
+    /// Completed enter/exit pairs aggregated into this node.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across all calls.
+    pub total_ns: u64,
+    /// Child spans in first-entered order.
+    pub children: Vec<SpanSnap>,
+}
+
+/// A point-in-time copy of every metric in the registry, detached from
+/// the live registry and safe to ship to a sink.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges, sorted by name.
+    pub gauges: Vec<(String, u64)>,
+    /// Histograms, sorted by name.
+    pub histograms: Vec<(String, Histogram)>,
+    /// Root spans in first-entered order.
+    pub spans: Vec<SpanSnap>,
+}
+
+impl Snapshot {
+    /// Value of a counter by name, if it was ever incremented.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge by name, if it was ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// `true` when nothing was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+    }
+
+    /// Renders the snapshot as an indented human-readable tree.
+    #[must_use]
+    pub fn render_tree(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans:\n");
+            for s in &self.spans {
+                render_span(s, 1, &mut out);
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                out.push_str(&format!("  {name} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("  {name} = {v}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name}: count={} mean={:.1} max>={}\n",
+                    h.count,
+                    h.mean(),
+                    h.max_bucket_floor()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Serializes the snapshot into the report JSON shape understood by
+    /// [`Snapshot::from_json`].
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Int(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(n, v)| (n.clone(), Json::Int(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &c)| c > 0)
+                    .map(|(i, &c)| Json::Arr(vec![Json::Int(i as u64), Json::Int(c)]))
+                    .collect();
+                (
+                    n.clone(),
+                    Json::Obj(vec![
+                        ("count".into(), Json::Int(h.count)),
+                        ("sum".into(), Json::Int(h.sum)),
+                        ("buckets".into(), Json::Arr(buckets)),
+                    ]),
+                )
+            })
+            .collect();
+        Json::Obj(vec![
+            ("counters".into(), Json::Obj(counters)),
+            ("gauges".into(), Json::Obj(gauges)),
+            ("histograms".into(), Json::Obj(histograms)),
+            (
+                "spans".into(),
+                Json::Arr(self.spans.iter().map(span_to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Reconstructs a snapshot from the JSON produced by
+    /// [`Snapshot::to_json`]. Returns `None` on any shape mismatch.
+    #[must_use]
+    pub fn from_json(j: &Json) -> Option<Snapshot> {
+        let mut snap = Snapshot::default();
+        for (name, v) in j.get("counters")?.entries()? {
+            snap.counters.push((name.clone(), v.as_u64()?));
+        }
+        for (name, v) in j.get("gauges")?.entries()? {
+            snap.gauges.push((name.clone(), v.as_u64()?));
+        }
+        for (name, v) in j.get("histograms")?.entries()? {
+            let mut h = Histogram {
+                count: v.get("count")?.as_u64()?,
+                sum: v.get("sum")?.as_u64()?,
+                ..Histogram::default()
+            };
+            for pair in v.get("buckets")?.as_arr()? {
+                let pair = pair.as_arr()?;
+                let idx = usize::try_from(pair.first()?.as_u64()?).ok()?;
+                if idx >= HISTOGRAM_BUCKETS {
+                    return None;
+                }
+                h.buckets[idx] = pair.get(1)?.as_u64()?;
+            }
+            snap.histograms.push((name.clone(), h));
+        }
+        for s in j.get("spans")?.as_arr()? {
+            snap.spans.push(span_from_json(s)?);
+        }
+        Some(snap)
+    }
+}
+
+fn render_span(s: &SpanSnap, depth: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let calls = if s.calls == 1 {
+        "1 call".to_string()
+    } else {
+        format!("{} calls", s.calls)
+    };
+    out.push_str(&format!(
+        "{indent}{:<28} {:>9}  {}\n",
+        s.name,
+        calls,
+        fmt_duration_ns(s.total_ns)
+    ));
+    for c in &s.children {
+        render_span(c, depth + 1, out);
+    }
+}
+
+fn span_to_json(s: &SpanSnap) -> Json {
+    let mut fields = vec![
+        ("name".into(), Json::Str(s.name.clone())),
+        ("calls".into(), Json::Int(s.calls)),
+        ("ns".into(), Json::Int(s.total_ns)),
+    ];
+    if !s.children.is_empty() {
+        fields.push((
+            "children".into(),
+            Json::Arr(s.children.iter().map(span_to_json).collect()),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn span_from_json(j: &Json) -> Option<SpanSnap> {
+    let mut s = SpanSnap {
+        name: j.get("name")?.as_str()?.to_string(),
+        calls: j.get("calls")?.as_u64()?,
+        total_ns: j.get("ns")?.as_u64()?,
+        children: Vec::new(),
+    };
+    if let Some(children) = j.get("children") {
+        for c in children.as_arr()? {
+            s.children.push(span_from_json(c)?);
+        }
+    }
+    Some(s)
+}
+
+/// Live span node: index-linked tree in a flat arena.
+struct SpanNode {
+    name: &'static str,
+    calls: u64,
+    total_ns: u64,
+    children: Vec<usize>,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    arena: Vec<SpanNode>,
+    roots: Vec<usize>,
+    stack: Vec<usize>,
+}
+
+impl Registry {
+    /// Finds or creates the child span `name` under the current stack
+    /// top (or the root set), and makes it the new top.
+    fn enter(&mut self, name: &'static str) -> usize {
+        let siblings: &[usize] = match self.stack.last() {
+            Some(&parent) => &self.arena[parent].children,
+            None => &self.roots,
+        };
+        let found = siblings
+            .iter()
+            .copied()
+            .find(|&i| self.arena[i].name == name);
+        let idx = match found {
+            Some(i) => i,
+            None => {
+                let i = self.arena.len();
+                self.arena.push(SpanNode {
+                    name,
+                    calls: 0,
+                    total_ns: 0,
+                    children: Vec::new(),
+                });
+                match self.stack.last() {
+                    Some(&parent) => self.arena[parent].children.push(i),
+                    None => self.roots.push(i),
+                }
+                i
+            }
+        };
+        self.stack.push(idx);
+        idx
+    }
+
+    /// Records a completed span. Normally the guard being dropped sits on
+    /// top of the stack; if snapshots or resets disturbed the stack we
+    /// recover by matching the nearest enclosing span of the same name,
+    /// or re-entering it, so drops never panic and nesting stays balanced.
+    fn exit(&mut self, name: &'static str, ns: u64) {
+        let idx = match self.stack.iter().rposition(|&i| self.arena[i].name == name) {
+            Some(pos) => {
+                let idx = self.stack[pos];
+                self.stack.truncate(pos);
+                idx
+            }
+            None => {
+                let idx = self.enter(name);
+                self.stack.pop();
+                idx
+            }
+        };
+        self.arena[idx].calls += 1;
+        self.arena[idx].total_ns = self.arena[idx].total_ns.saturating_add(ns);
+    }
+
+    fn snapshot_span(&self, idx: usize) -> SpanSnap {
+        let node = &self.arena[idx];
+        SpanSnap {
+            name: node.name.to_string(),
+            calls: node.calls,
+            total_ns: node.total_ns,
+            children: node
+                .children
+                .iter()
+                .map(|&c| self.snapshot_span(c))
+                .collect(),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(&n, &v)| (n.to_string(), v))
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|(&n, &v)| (n.to_string(), v))
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(&n, &h)| (n.to_string(), h))
+                .collect(),
+            spans: self.roots.iter().map(|&i| self.snapshot_span(i)).collect(),
+        }
+    }
+}
+
+thread_local! {
+    static REGISTRY: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+fn with<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    REGISTRY.with(|r| f(&mut r.borrow_mut()))
+}
+
+/// Adds `by` to the named monotonic counter, creating it at zero first.
+pub fn add_counter(name: &'static str, by: u64) {
+    with(|r| *r.counters.entry(name).or_insert(0) += by);
+}
+
+/// Sets the named gauge to `value` (last write wins).
+pub fn set_gauge(name: &'static str, value: u64) {
+    with(|r| {
+        r.gauges.insert(name, value);
+    });
+}
+
+/// Records one observation into the named histogram.
+pub fn record_histogram(name: &'static str, value: u64) {
+    with(|r| r.histograms.entry(name).or_default().record(value));
+}
+
+/// Current value of a counter (0 if never incremented). Mainly for tests.
+#[must_use]
+pub fn counter_value(name: &str) -> u64 {
+    with(|r| r.counters.get(name).copied().unwrap_or(0))
+}
+
+/// Number of currently open spans on this thread. Mainly for tests: a
+/// balanced workload must come back to the depth it started at.
+#[must_use]
+pub fn span_depth() -> usize {
+    with(|r| r.stack.len())
+}
+
+/// Clears every metric on this thread, including open spans. Guards that
+/// outlive a reset re-register themselves on drop (see `Registry::exit`).
+pub fn reset() {
+    with(|r| *r = Registry::default());
+}
+
+/// Copies all metrics out and clears the registry, preserving the chain
+/// of currently open spans (with zeroed timings) so in-flight guards
+/// keep recording into a consistent tree.
+#[must_use]
+pub fn take_snapshot() -> Snapshot {
+    with(|r| {
+        let snap = r.snapshot();
+        let chain: Vec<&'static str> = r.stack.iter().map(|&i| r.arena[i].name).collect();
+        *r = Registry::default();
+        for name in chain {
+            r.enter(name);
+        }
+        snap
+    })
+}
+
+/// Internal hook for `SpanGuard`.
+pub(crate) fn enter_named(name: &'static str) {
+    with(|r| {
+        r.enter(name);
+    });
+}
+
+/// Internal hook for `SpanGuard::drop`.
+pub(crate) fn exit_named(name: &'static str, ns: u64) {
+    with(|r| r.exit(name, ns));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        let mut h = Histogram::default();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 10);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[3], 2);
+        assert!((h.mean() - 10.0 / 3.0).abs() < 1e-9);
+        assert_eq!(h.max_bucket_floor(), 4);
+    }
+
+    #[test]
+    fn spans_aggregate_by_parent_and_name() {
+        reset();
+        for _ in 0..3 {
+            let _outer = crate::span_enter("outer");
+            let _inner = crate::span_enter("inner");
+        }
+        {
+            let _other = crate::span_enter("other");
+        }
+        let snap = take_snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].name, "outer");
+        assert_eq!(snap.spans[0].calls, 3);
+        assert_eq!(snap.spans[0].children.len(), 1);
+        assert_eq!(snap.spans[0].children[0].name, "inner");
+        assert_eq!(snap.spans[0].children[0].calls, 3);
+        assert_eq!(snap.spans[1].name, "other");
+        assert_eq!(span_depth(), 0);
+    }
+
+    #[test]
+    fn snapshot_preserves_open_span_chain() {
+        reset();
+        let outer = crate::span_enter("outer");
+        let first = take_snapshot();
+        // `outer` had not finished, so it appears with zero completed calls.
+        assert_eq!(first.spans[0].calls, 0);
+        {
+            let _inner = crate::span_enter("inner");
+        }
+        drop(outer);
+        let second = take_snapshot();
+        assert_eq!(second.spans[0].name, "outer");
+        assert_eq!(second.spans[0].calls, 1);
+        assert_eq!(second.spans[0].children[0].name, "inner");
+        assert_eq!(span_depth(), 0);
+    }
+
+    #[test]
+    fn counters_gauges_and_lookup() {
+        reset();
+        add_counter("a", 2);
+        add_counter("a", 3);
+        set_gauge("g", 7);
+        set_gauge("g", 9);
+        record_histogram("h", 100);
+        assert_eq!(counter_value("a"), 5);
+        let snap = take_snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.gauge("g"), Some(9));
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert!(take_snapshot().is_empty());
+    }
+
+    #[test]
+    fn render_tree_mentions_all_sections() {
+        reset();
+        add_counter("c", 1);
+        set_gauge("g", 2);
+        record_histogram("h", 3);
+        {
+            let _s = crate::span_enter("root");
+        }
+        let text = take_snapshot().render_tree();
+        for needle in [
+            "spans:",
+            "counters:",
+            "gauges:",
+            "histograms:",
+            "root",
+            "c = 1",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Property and golden tests for the trace registry.
+//!
+//! * Counter monotonicity — registry counters and the BDD manager's
+//!   always-on [`bds_bdd::OpStats`] only ever grow while random BDD op
+//!   sequences run.
+//! * Span nesting balance — arbitrarily nested span guards always return
+//!   the registry to depth zero, and snapshots taken mid-flight keep the
+//!   open chain intact.
+//! * JSON round-trip — every snapshot survives `to_json` → `render` →
+//!   `parse` → `from_json` (the same hand-rolled parser the bench
+//!   `summary --compare` mode uses), including a fixed golden report.
+
+use bds_bdd::{Edge, Manager};
+use bds_prop::{check_cases, Rng};
+use bds_trace::json::{parse, Json};
+use bds_trace::{add_counter, counter_value, record_histogram, set_gauge, Snapshot};
+
+/// Drives a random sequence of BDD operations, asserting after every
+/// step that both the trace counters and the manager's op counters are
+/// monotonically non-decreasing.
+#[test]
+fn counters_are_monotone_across_random_bdd_ops() {
+    check_cases("counter-monotonicity", 24, |rng: &mut Rng| {
+        bds_trace::reset();
+        let mut mgr = Manager::new();
+        let vars = mgr.new_vars(6);
+        let mut pool: Vec<Edge> = vars.iter().map(|&v| mgr.literal(v, rng.bool())).collect();
+        let mut last_registry = 0u64;
+        let mut last_ops = mgr.op_stats();
+        for _ in 0..rng.range_usize(5..40) {
+            let f = *rng.choose(&pool);
+            let g = *rng.choose(&pool);
+            let out = match rng.range_u32(0..4) {
+                0 => mgr.and(f, g),
+                1 => mgr.or(f, g),
+                2 => mgr.xor(f, g),
+                _ => mgr.xnor(f, g),
+            }
+            .expect("no node limit configured");
+            pool.push(out);
+
+            // Mirror the manager counters into the registry the way the
+            // flow's publish step does, then check both never regress.
+            let ops = mgr.op_stats();
+            add_counter("prop.ite_calls", ops.ite_calls - last_ops.ite_calls);
+            assert!(ops.ite_calls >= last_ops.ite_calls);
+            assert!(ops.cache_hits >= last_ops.cache_hits);
+            assert!(ops.cache_misses >= last_ops.cache_misses);
+            assert!(ops.nodes_created >= last_ops.nodes_created);
+            assert!(ops.unique_hits >= last_ops.unique_hits);
+            last_ops = ops;
+
+            let registry = counter_value("prop.ite_calls");
+            assert!(registry >= last_registry, "registry counter regressed");
+            last_registry = registry;
+        }
+        assert_eq!(last_registry, last_ops.ite_calls);
+    });
+}
+
+/// Opens a random tree of nested spans (guards held in a stack, popped
+/// in random bursts) and checks the registry depth tracks the live guard
+/// count exactly — i.e. nesting always balances.
+#[test]
+fn span_nesting_always_balances() {
+    const NAMES: [&str; 5] = ["a", "b", "c", "d", "e"];
+    check_cases("span-balance", 32, |rng: &mut Rng| {
+        bds_trace::reset();
+        let mut guards = Vec::new();
+        for _ in 0..rng.range_usize(1..60) {
+            if guards.is_empty() || rng.ratio(0.6) {
+                guards.push(bds_trace::span_enter(
+                    NAMES[rng.range_usize(0..NAMES.len())],
+                ));
+            } else {
+                for _ in 0..rng.range_usize(1..guards.len() + 1) {
+                    guards.pop();
+                }
+            }
+            assert_eq!(bds_trace::span_depth(), guards.len());
+        }
+        // A snapshot taken with spans still open must report the open
+        // chain without disturbing it.
+        let depth_before = bds_trace::span_depth();
+        let snap = bds_trace::take_snapshot();
+        assert_eq!(bds_trace::span_depth(), depth_before);
+        if depth_before > 0 {
+            assert!(!snap.spans.is_empty());
+        }
+        guards.clear();
+        assert_eq!(bds_trace::span_depth(), 0);
+    });
+}
+
+/// Random snapshots survive the full JSON round trip bit-for-bit.
+#[test]
+fn snapshot_json_round_trips_randomly() {
+    const NAMES: [&str; 6] = ["flow", "flow.build", "bdd.sift", "net.sweep", "x", "y"];
+    check_cases("json-round-trip", 24, |rng: &mut Rng| {
+        bds_trace::reset();
+        for _ in 0..rng.range_usize(0..12) {
+            match rng.range_u32(0..3) {
+                0 => add_counter(
+                    NAMES[rng.range_usize(0..NAMES.len())],
+                    rng.range_u64(0..1 << 40),
+                ),
+                1 => set_gauge(
+                    NAMES[rng.range_usize(0..NAMES.len())],
+                    rng.range_u64(0..1 << 40),
+                ),
+                _ => record_histogram(
+                    NAMES[rng.range_usize(0..NAMES.len())],
+                    rng.range_u64(0..1 << 40),
+                ),
+            }
+        }
+        let mut guards = Vec::new();
+        for _ in 0..rng.range_usize(0..10) {
+            if guards.is_empty() || rng.bool() {
+                guards.push(bds_trace::span_enter(
+                    NAMES[rng.range_usize(0..NAMES.len())],
+                ));
+            } else {
+                guards.pop();
+            }
+        }
+        guards.clear();
+        let snap = bds_trace::take_snapshot();
+        let text = snap.to_json().render();
+        let parsed = parse(&text).expect("rendered snapshot JSON parses");
+        assert_eq!(Snapshot::from_json(&parsed), Some(snap));
+    });
+}
+
+/// Golden check: a fixed report, in the exact envelope the bench
+/// binaries write, parses with the hand parser and yields the expected
+/// values — guarding the on-disk schema against accidental drift.
+#[test]
+fn golden_report_parses_to_expected_values() {
+    let golden = r#"{
+  "schema": "bds-trace-report/v1",
+  "bench": "table1",
+  "trace_enabled": true,
+  "circuits": [
+    {
+      "name": "parity16",
+      "bds": {"gates": 15, "area": 64.0, "seconds": 0.0125},
+      "bdd_ops": {"ite_calls": 1853, "cache_hit_rate": 0.375},
+      "decompose": {"xnor_dom": 14, "shannon": 0},
+      "trace": {
+        "counters": {"decompose.xnor_dom": 14},
+        "gauges": {},
+        "histograms": {},
+        "spans": [
+          {"name": "flow", "calls": 1, "ns": 12500000, "children": [
+            {"name": "flow.decompose", "calls": 1, "ns": 9000000}
+          ]}
+        ]
+      }
+    }
+  ]
+}
+"#;
+    let doc = parse(golden).expect("golden parses");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("bds-trace-report/v1")
+    );
+    assert_eq!(doc.get("trace_enabled").and_then(Json::as_bool), Some(true));
+    let circuits = doc.get("circuits").and_then(Json::as_arr).expect("array");
+    let c = &circuits[0];
+    assert_eq!(c.get("name").and_then(Json::as_str), Some("parity16"));
+    let bds = c.get("bds").expect("bds section");
+    assert_eq!(bds.get("gates").and_then(Json::as_u64), Some(15));
+    assert_eq!(bds.get("seconds").and_then(Json::as_f64), Some(0.0125));
+    let ops = c.get("bdd_ops").expect("bdd_ops section");
+    assert_eq!(
+        ops.get("cache_hit_rate").and_then(Json::as_f64),
+        Some(0.375)
+    );
+    assert_eq!(
+        c.get("decompose")
+            .and_then(|d| d.get("xnor_dom"))
+            .and_then(Json::as_u64),
+        Some(14)
+    );
+    // The trace section is a full Snapshot: decode it and walk the tree.
+    let snap =
+        Snapshot::from_json(c.get("trace").expect("trace section")).expect("trace section decodes");
+    assert_eq!(snap.counter("decompose.xnor_dom"), Some(14));
+    assert_eq!(snap.spans.len(), 1);
+    assert_eq!(snap.spans[0].name, "flow");
+    assert_eq!(snap.spans[0].total_ns, 12_500_000);
+    assert_eq!(snap.spans[0].children[0].name, "flow.decompose");
+    // Re-render → re-parse: the round trip is stable.
+    let again = parse(&snap.to_json().render()).expect("re-parses");
+    assert_eq!(Snapshot::from_json(&again), Some(snap));
+}

@@ -12,14 +12,21 @@
 //!   2. every crate root declares `#![forbid(unsafe_code)]`,
 //!   3. no `println!`/`eprintln!`/`print!`/`eprint!` in library code
 //!      (escape hatch: `// lint:allow(print)`),
-//!   4. public items in `bds-bdd` and `bds-network` carry doc comments.
+//!   4. public items in `bds-bdd`, `bds-network` and `bds-trace` carry
+//!      doc comments,
+//!   5. no direct `Instant::now()` outside `bds-trace` and `bds-bench` —
+//!      instrumented crates time through `bds_trace::Stopwatch`/`span!`
+//!      so wall-clock reads stay observable (escape hatch:
+//!      `// lint:allow(instant)`).
 //!
 //!   Violations are reported as `path:line: [rule] message` and the
 //!   process exits nonzero.
 //!
 //! * `cargo xtask ci` — the full local gate: `cargo fmt --check`, then
 //!   `cargo clippy --workspace --all-targets -- -D warnings`, then the
-//!   custom lints above, then `cargo test --workspace`.
+//!   custom lints above, then `cargo test --workspace`, then a build and
+//!   test pass with the `trace` feature on (`--features bds-bench/trace`)
+//!   so the instrumented configuration cannot rot.
 //!
 //! A file-level escape hatch `// lint:allow-file(<rule>): <reason>`
 //! anywhere in a file disables one rule for that whole file.
@@ -57,7 +64,7 @@ fn workspace_root() -> PathBuf {
 
 fn run_ci() -> ExitCode {
     let root = workspace_root();
-    let steps: [(&str, &[&str]); 3] = [
+    let steps: [(&str, &[&str]); 5] = [
         ("cargo fmt --check", &["fmt", "--all", "--", "--check"]),
         (
             "cargo clippy -D warnings",
@@ -70,8 +77,22 @@ fn run_ci() -> ExitCode {
                 "warnings",
             ],
         ),
-        // The test step is run after the custom lints below.
+        // The remaining steps run after the custom lints below.
         ("cargo test", &["test", "--workspace", "--quiet"]),
+        (
+            "cargo build (trace)",
+            &["build", "--workspace", "--features", "bds-bench/trace"],
+        ),
+        (
+            "cargo test (trace)",
+            &[
+                "test",
+                "--workspace",
+                "--features",
+                "bds-bench/trace",
+                "--quiet",
+            ],
+        ),
     ];
     let mut failed = Vec::new();
     for (label, cmd_args) in &steps[..2] {
@@ -84,10 +105,11 @@ fn run_ci() -> ExitCode {
     if run_lint() != ExitCode::SUCCESS {
         failed.push("cargo xtask lint");
     }
-    let (label, cmd_args) = &steps[2];
-    println!("==> {label}");
-    if !run_cargo(&root, cmd_args) {
-        failed.push(label);
+    for (label, cmd_args) in &steps[2..] {
+        println!("==> {label}");
+        if !run_cargo(&root, cmd_args) {
+            failed.push(*label);
+        }
     }
     if failed.is_empty() {
         println!("ci: all gates passed");
@@ -240,6 +262,17 @@ const PANIC_TOKENS: [&str; 6] = [
 
 const PRINT_TOKENS: [&str; 4] = ["println!(", "eprintln!(", "print!(", "eprint!("];
 
+/// Direct wall-clock reads banned from instrumented crates: timing goes
+/// through `bds_trace::Stopwatch` / `span!` so it shows up in reports.
+/// `bds-trace` implements those primitives and `bds-bench` owns the
+/// micro-benchmark runner, so both are exempt.
+const INSTANT_TOKEN: &str = "Instant::now(";
+
+fn instant_exempt(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.starts_with("crates/trace/") || s.starts_with("crates/bench/")
+}
+
 fn lint_file(rel: &Path, text: &str, violations: &mut Vec<Violation>) {
     let raw_lines: Vec<&str> = text.lines().collect();
     let cleaned = clean_lines(&raw_lines);
@@ -247,10 +280,14 @@ fn lint_file(rel: &Path, text: &str, violations: &mut Vec<Violation>) {
     let allow_file_panic = text.contains("lint:allow-file(panic)");
     let allow_file_print = text.contains("lint:allow-file(print)");
     let allow_file_docs = text.contains("lint:allow-file(docs)");
+    let allow_file_instant = text.contains("lint:allow-file(instant)");
     let is_docs_crate = {
         let s = rel.to_string_lossy().replace('\\', "/");
-        s.starts_with("crates/bdd/") || s.starts_with("crates/network/")
+        s.starts_with("crates/bdd/")
+            || s.starts_with("crates/network/")
+            || s.starts_with("crates/trace/")
     };
+    let instant_applies = !instant_exempt(rel);
 
     let allowed = |idx: usize, rule: &str| -> bool {
         let marker = format!("lint:allow({rule})");
@@ -293,6 +330,20 @@ fn lint_file(rel: &Path, text: &str, violations: &mut Vec<Violation>) {
                     });
                 }
             }
+        }
+        if instant_applies
+            && !allow_file_instant
+            && contains_token(clean, INSTANT_TOKEN)
+            && !allowed(idx, "instant")
+        {
+            violations.push(Violation {
+                path: rel.to_path_buf(),
+                line: line_no,
+                rule: "instant",
+                message: "direct `Instant::now()` in an instrumented crate; time through \
+                          `bds_trace::Stopwatch`/`span!` or justify with `// lint:allow(instant)`"
+                    .to_string(),
+            });
         }
         if is_docs_crate && !allow_file_docs && !allowed(idx, "docs") {
             if let Some(item) = public_item(clean) {
@@ -639,6 +690,49 @@ mod tests {
         let mut v = Vec::new();
         lint_file(Path::new("crates/sop/src/lib.rs"), text, &mut v);
         assert!(v.iter().all(|v| v.rule != "docs"));
+    }
+
+    fn lint_at(path: &str, text: &str) -> Vec<String> {
+        let mut v = Vec::new();
+        lint_file(Path::new(path), text, &mut v);
+        v.into_iter()
+            .map(|v| format!("{}:{}", v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn instant_now_flagged_in_instrumented_crates() {
+        let text = "fn f() {\n    let t0 = std::time::Instant::now();\n}\n";
+        assert_eq!(lint_at("crates/bdd/src/lib.rs", text), vec!["instant:2"]);
+    }
+
+    #[test]
+    fn instant_now_allowed_in_trace_and_bench() {
+        let text = "fn f() {\n    let t0 = Instant::now();\n}\n";
+        assert!(lint_at("crates/trace/src/span.rs", text).is_empty());
+        assert!(lint_at("crates/bench/src/timing.rs", text).is_empty());
+    }
+
+    #[test]
+    fn instant_justification_works() {
+        let line = "fn f() {\n    // lint:allow(instant) — cold path, not worth a span\n    \
+                    let t0 = Instant::now();\n}\n";
+        assert!(lint_at("crates/bds-core/src/flow.rs", line).is_empty());
+        let file = "// lint:allow-file(instant): startup timing only\nfn f() {\n    \
+                    let t0 = Instant::now();\n}\n";
+        assert!(lint_at("crates/bds-core/src/flow.rs", file).is_empty());
+    }
+
+    #[test]
+    fn instant_ignored_in_test_modules() {
+        let text = "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}\n";
+        assert!(lint_at("crates/bdd/src/lib.rs", text).is_empty());
+    }
+
+    #[test]
+    fn docs_rule_covers_trace_crate() {
+        let text = "pub fn naked() {}\n";
+        assert_eq!(lint_at("crates/trace/src/lib.rs", text), vec!["docs:1"]);
     }
 
     #[test]

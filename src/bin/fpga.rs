@@ -1,0 +1,8 @@
+//! Shim: runs [`bds_bench::bins::fpga`] so the experiment is
+//! `cargo run --release --bin fpga` from the workspace root.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bds_bench::bins::fpga::main()
+}

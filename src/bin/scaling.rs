@@ -1,0 +1,8 @@
+//! Shim: runs [`bds_bench::bins::scaling`] so the experiment is
+//! `cargo run --release --bin scaling` from the workspace root.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bds_bench::bins::scaling::main()
+}

@@ -1,0 +1,8 @@
+//! Shim: runs [`bds_bench::bins::summary`] so the experiment is
+//! `cargo run --release --bin summary` from the workspace root.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bds_bench::bins::summary::main()
+}

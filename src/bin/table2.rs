@@ -1,0 +1,8 @@
+//! Shim: runs [`bds_bench::bins::table2`] so the experiment is
+//! `cargo run --release --bin table2` from the workspace root.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    bds_bench::bins::table2::main()
+}
