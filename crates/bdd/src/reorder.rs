@@ -133,7 +133,17 @@ pub fn sift(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manage
                 match reorder(&best_mgr, &best_roots, &order) {
                     Ok((m, r)) => {
                         let size = m.count_nodes(&r);
-                        if size < best_size {
+                        let accepted = size < best_size;
+                        bds_trace::event!(
+                            "reorder.sift_move",
+                            var = var.index(),
+                            from = cur_pos,
+                            to = pos,
+                            size = size,
+                            best = best_size,
+                            accepted = accepted,
+                        );
+                        if accepted {
                             bds_trace::counter!("bdd.reorder.accepted_moves");
                             best_size = size;
                             best_pos = pos;
@@ -141,7 +151,18 @@ pub fn sift(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Manage
                             best_roots = r;
                         }
                     }
-                    Err(_) => continue, // blow-up under this order: skip
+                    Err(_) => {
+                        // Blow-up under this candidate order: skip it.
+                        bds_trace::event!(
+                            "reorder.sift_move",
+                            var = var.index(),
+                            from = cur_pos,
+                            to = pos,
+                            blowup = true,
+                            accepted = false,
+                        );
+                        continue;
+                    }
                 }
             }
             let _ = best_pos;
@@ -286,6 +307,12 @@ pub fn window3(src: &Manager, roots: &[Edge], limits: SiftLimits) -> Result<(Man
                     let size = m.count_nodes(&r);
                     if size < best_size {
                         bds_trace::counter!("bdd.reorder.accepted_moves");
+                        bds_trace::event!(
+                            "reorder.window3_accept",
+                            start = start,
+                            size = size,
+                            was = best_size,
+                        );
                         best_size = size;
                         best_mgr = m;
                         best_roots = r;

@@ -260,6 +260,10 @@ pub fn optimize_global(
         "bdd.global.unique_load_pct",
         (table.unique_load_factor() * 100.0) as u64
     );
+    bds_trace::gauge!(
+        "bdd.global.peak_arena_nodes",
+        peak0.max(mgr.arena_size()) as u64
+    );
     publish_trace(&dec.stats, &ops);
     Ok((
         out,
@@ -289,6 +293,10 @@ pub fn optimize_partitioned(
     let mut stats = DecomposeStats::default();
     let mut ops = OpStats::default();
     let mut peak = 0usize;
+    // Peak unique/computed-table load across the per-node managers, for
+    // the phase gauges below (only tracked when tracing is compiled in).
+    let mut peak_unique = 0usize;
+    let mut peak_computed = 0usize;
     // work signal → out signal.
     let mut map: Vec<Option<SignalId>> = vec![None; work.signals().count()];
     for &i in work.inputs() {
@@ -328,6 +336,11 @@ pub fn optimize_partitioned(
         };
         stats.merge(dec.stats);
         ops.merge(&mgr.op_stats());
+        if bds_trace::is_enabled() {
+            let table = mgr.table_stats();
+            peak_unique = peak_unique.max(table.unique_entries);
+            peak_computed = peak_computed.max(table.computed_entries);
+        }
 
         let _sharing_span = bds_trace::span!("flow.sharing");
         let mut var_signals: Vec<SignalId> = Vec::with_capacity(fanins.len());
@@ -353,6 +366,12 @@ pub fn optimize_partitioned(
     }
     out.sweep()?;
     let out = out.compacted()?;
+    bds_trace::gauge!("bdd.partitioned.peak_arena_nodes", peak as u64);
+    bds_trace::gauge!("bdd.partitioned.peak_unique_entries", peak_unique as u64);
+    bds_trace::gauge!(
+        "bdd.partitioned.peak_computed_entries",
+        peak_computed as u64
+    );
     publish_trace(&stats, &ops);
     Ok((
         out,

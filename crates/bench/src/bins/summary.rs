@@ -32,8 +32,10 @@ use bds_circuits::random_logic::{random_logic, RandomLogicParams};
 use bds_network::Network;
 use bds_trace::json::{parse, Json};
 
+use bds_trace::gate::{compare_reports, Thresholds};
+
 use crate::harness::{geomean, print_rows, run_both, Row};
-use crate::report::{finish_rows, parse_args};
+use crate::report::{envelope, finish_rows, parse_args, row_json};
 
 fn class_summary(title: &str, rows: &[Row], paper_claim: &str) {
     print_rows(title, rows);
@@ -60,13 +62,17 @@ struct Baseline {
     area: f64,
 }
 
-fn load_baselines(path: &Path) -> Result<Vec<Baseline>, String> {
+fn load_report(path: &Path) -> Result<Json, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let doc = parse(&text).map_err(|e| e.to_string())?;
     match doc.get("schema").and_then(Json::as_str) {
         Some("bds-trace-report/v1") => {}
         other => return Err(format!("unsupported report schema {other:?}")),
     }
+    Ok(doc)
+}
+
+fn load_baselines(doc: &Json) -> Result<Vec<Baseline>, String> {
     let circuits = doc
         .get("circuits")
         .and_then(Json::as_arr)
@@ -119,11 +125,21 @@ pub fn main() -> ExitCode {
         Ok(args) => args,
         Err(code) => return code,
     };
-    let baselines = match &args.compare {
-        Some(path) => match load_baselines(path) {
-            Ok(baselines) => Some(baselines),
+    let baseline_doc = match &args.compare {
+        Some(path) => match load_report(path) {
+            Ok(doc) => Some(doc),
             Err(err) => {
                 eprintln!("summary: cannot load {}: {err}", path.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let baselines = match &baseline_doc {
+        Some(doc) => match load_baselines(doc) {
+            Ok(baselines) => Some(baselines),
+            Err(err) => {
+                eprintln!("summary: bad baseline report: {err}");
                 return ExitCode::FAILURE;
             }
         },
@@ -189,6 +205,24 @@ pub fn main() -> ExitCode {
     }
     if let Err(code) = finish_rows(&args, "summary", &rows) {
         return code;
+    }
+    // Regression gate: the same thresholds as `cargo xtask perfgate`. A
+    // tracked metric moving past its allowance fails the run, so CI and
+    // scripts can rely on the exit code, not just the printed diff.
+    if let Some(doc) = &baseline_doc {
+        let fresh = envelope("summary", rows.iter().map(row_json).collect());
+        match compare_reports(doc, &fresh, &Thresholds::default()) {
+            Ok(outcome) => {
+                print!("{}", outcome.render());
+                if !outcome.passed() {
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(err) => {
+                eprintln!("summary: cannot gate against baseline: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

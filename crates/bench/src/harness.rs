@@ -10,7 +10,7 @@ use bds::sis_flow::{script_rugged, SisParams};
 use bds_map::{map_network, Library, MappedNetlist};
 use bds_network::verify::{verify, verify_by_simulation, Verdict};
 use bds_network::Network;
-use bds_trace::Snapshot;
+use bds_trace::{Journal, Snapshot};
 
 /// Result of one flow on one circuit.
 #[derive(Clone, Debug)]
@@ -54,6 +54,10 @@ pub struct Row {
     /// wall-clock spans and registry counters. Empty unless the crate is
     /// built with the `trace` feature.
     pub trace: Snapshot,
+    /// Flight-recorder journal drained across the same window: the
+    /// time-ordered span boundaries and decision events behind the
+    /// `--perfetto` / `--folded` exports. Empty without `trace`.
+    pub journal: Journal,
 }
 
 fn mapped(net: &Network, lib: &Library) -> MappedNetlist {
@@ -91,6 +95,9 @@ pub fn run_both(
     bds_trace::reset();
     let (bds_net, bds_report) = optimize(net, flow_params).expect("bds flow");
     let trace = bds_trace::take_snapshot();
+    // Drained after the snapshot: journal timestamps share one epoch
+    // across circuits, so stitched exports stay globally ordered.
+    let journal = bds_trace::take_journal();
     let bds_mapped = mapped(&bds_net, &lib);
     let bds_stats = bds_net.stats();
 
@@ -132,6 +139,7 @@ pub fn run_both(
         verified,
         report: bds_report,
         trace,
+        journal,
     }
 }
 

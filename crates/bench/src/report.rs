@@ -39,6 +39,12 @@ pub struct BenchArgs {
     pub trace_tree: bool,
     /// Baseline report to diff against (`summary` only).
     pub compare: Option<PathBuf>,
+    /// Write a Chrome/Perfetto trace-event JSON of the stitched flight
+    /// recorder journals here (load in `ui.perfetto.dev`).
+    pub perfetto: Option<PathBuf>,
+    /// Write folded flamegraph stacks of the per-circuit span trees here
+    /// (feed to `flamegraph.pl` or speedscope).
+    pub folded: Option<PathBuf>,
 }
 
 /// Parses `std::env::args` for a bench binary.
@@ -60,6 +66,14 @@ pub fn parse_args(bench: &str, accept_compare: bool) -> Result<BenchArgs, ExitCo
                 Some(path) => out.compare = Some(PathBuf::from(path)),
                 None => return Err(usage(bench, accept_compare, "--compare needs a path")),
             },
+            "--perfetto" => match args.next() {
+                Some(path) => out.perfetto = Some(PathBuf::from(path)),
+                None => return Err(usage(bench, accept_compare, "--perfetto needs a path")),
+            },
+            "--folded" => match args.next() {
+                Some(path) => out.folded = Some(PathBuf::from(path)),
+                None => return Err(usage(bench, accept_compare, "--folded needs a path")),
+            },
             other => {
                 return Err(usage(
                     bench,
@@ -79,7 +93,9 @@ fn usage(bench: &str, accept_compare: bool, problem: &str) -> ExitCode {
     } else {
         ""
     };
-    eprintln!("usage: {bench} [--json <path>] [--trace-tree]{compare}");
+    eprintln!(
+        "usage: {bench} [--json <path>] [--trace-tree] [--perfetto <path>] [--folded <path>]{compare}"
+    );
     ExitCode::from(2)
 }
 
@@ -173,6 +189,43 @@ pub fn finish_rows(args: &BenchArgs, bench: &str, rows: &[Row]) -> Result<(), Ex
     if let Some(path) = &args.json {
         let doc = envelope(bench, rows.iter().map(row_json).collect());
         if let Err(err) = write_json(path, &doc) {
+            eprintln!("{bench}: cannot write {}: {err}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("{bench}: wrote {}", path.display());
+    }
+    if let Some(path) = &args.perfetto {
+        if !bds_trace::is_enabled() {
+            eprintln!("{bench}: note: --perfetto without --features trace records no events");
+        }
+        // Stitch the per-circuit journals into one timeline; drains share
+        // a per-thread epoch, so timestamps are already globally ordered.
+        let mut stitched = bds_trace::Journal::default();
+        for row in rows {
+            stitched.extend(row.journal.clone());
+        }
+        if stitched.dropped > 0 {
+            eprintln!(
+                "{bench}: note: journal ring evicted {} event(s); raise the capacity for a full trace",
+                stitched.dropped
+            );
+        }
+        let doc = bds_trace::export::perfetto_trace(&stitched);
+        if let Err(err) = write_json(path, &doc) {
+            eprintln!("{bench}: cannot write {}: {err}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("{bench}: wrote {}", path.display());
+    }
+    if let Some(path) = &args.folded {
+        if !bds_trace::is_enabled() {
+            eprintln!("{bench}: note: --folded without --features trace records no spans");
+        }
+        let mut folded = String::new();
+        for row in rows {
+            folded.push_str(&bds_trace::export::folded_stacks(&row.trace, &row.name));
+        }
+        if let Err(err) = std::fs::write(path, &folded) {
             eprintln!("{bench}: cannot write {}: {err}", path.display());
             return Err(ExitCode::FAILURE);
         }

@@ -164,6 +164,13 @@ impl Network {
         if new_cost - old_cost > params.growth_allowance {
             return Ok(false);
         }
+        bds_trace::event!(
+            "net.eliminate.collapse",
+            node = sig.index(),
+            fanouts = fanouts.len(),
+            old_cost = old_cost,
+            new_cost = new_cost,
+        );
         for (fo, fanins, cover) in new_nodes {
             // Collapse only rewires to upstream signals, so this cannot
             // close a cycle; a failure here is structural corruption and

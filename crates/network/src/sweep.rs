@@ -255,6 +255,12 @@ impl Network {
             };
             match repr.get(&edge.raw()) {
                 Some(&r) if r != sig => {
+                    bds_trace::event!(
+                        "net.sweep.merge",
+                        node = sig.index(),
+                        into = r.index(),
+                        fanins = fanins.len(),
+                    );
                     changed += self.replace_uses(sig, r)?;
                 }
                 _ => {

@@ -1,0 +1,278 @@
+//! Perf-regression gate: noise-tolerant comparison of two
+//! `bds-trace-report/v1` files.
+//!
+//! One implementation serves both front ends — `bds-bench summary
+//! --compare` and `cargo xtask perfgate` — so the thresholds cannot
+//! drift apart. Circuits are matched by name; for each match the gate
+//! checks the BDS-side metrics:
+//!
+//! * **structural counts** (`gates`, `literals`, `mem_proxy`) are exact:
+//!   the flow is deterministic, so any increase over the baseline is a
+//!   real regression;
+//! * **wall time** (`seconds`) is noisy: it only regresses when the
+//!   fresh value exceeds the baseline by more than a relative percentage
+//!   *plus* an absolute floor (see [`Thresholds`]), so scheduler jitter
+//!   on sub-100ms circuits cannot fail a build.
+//!
+//! The gate never fails on *missing* circuits — a baseline from a
+//! different bench simply matches nothing — but front ends that require
+//! overlap (perfgate) treat `matched == 0` as an error themselves.
+
+use crate::json::Json;
+
+/// Report schema accepted by [`compare_reports`].
+pub const REPORT_SCHEMA: &str = "bds-trace-report/v1";
+
+/// Per-metric regression tolerances.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Thresholds {
+    /// Allowed relative wall-time increase, in percent (100.0 = may
+    /// double before failing).
+    pub seconds_pct: f64,
+    /// Absolute wall-time slack in seconds added on top of the relative
+    /// allowance, so microsecond-scale baselines are not gated on
+    /// scheduler noise.
+    pub seconds_floor: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            seconds_pct: 100.0,
+            seconds_floor: 0.25,
+        }
+    }
+}
+
+/// One metric that moved past its threshold.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Regression {
+    /// Circuit name the metric belongs to.
+    pub circuit: String,
+    /// Metric name (`gates`, `literals`, `mem_proxy`, `seconds`).
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+    /// Highest value that would still have passed.
+    pub limit: f64,
+}
+
+/// Result of gating one fresh report against a baseline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GateOutcome {
+    /// Circuits present in both reports.
+    pub matched: usize,
+    /// Metrics that regressed past their threshold.
+    pub regressions: Vec<Regression>,
+    /// Metrics strictly better than the baseline (for reporting).
+    pub improved: usize,
+}
+
+impl GateOutcome {
+    /// `true` when no tracked metric regressed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+
+    /// Human-readable verdict, one line per regression.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "perfgate: {} circuit(s) matched, {} metric(s) improved, {} regression(s)\n",
+            self.matched,
+            self.improved,
+            self.regressions.len()
+        );
+        for r in &self.regressions {
+            out.push_str(&format!(
+                "  REGRESSION {:<12} {:<9} baseline {:.4} -> current {:.4} (limit {:.4})\n",
+                r.circuit, r.metric, r.baseline, r.current, r.limit
+            ));
+        }
+        out
+    }
+}
+
+fn validate(doc: &Json, which: &str) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(REPORT_SCHEMA) => Ok(()),
+        other => Err(format!("{which} report has unsupported schema {other:?}")),
+    }
+}
+
+fn bds_metric(circuit: &Json, metric: &str) -> Option<f64> {
+    circuit.get("bds")?.get(metric)?.as_f64()
+}
+
+fn find_circuit<'a>(doc: &'a Json, name: &str) -> Option<&'a Json> {
+    doc.get("circuits")?
+        .as_arr()?
+        .iter()
+        .find(|c| c.get("name").and_then(Json::as_str) == Some(name))
+}
+
+/// Gates `current` against `baseline` under `thresholds`.
+///
+/// # Errors
+/// Returns a description when either document is not a
+/// `bds-trace-report/v1` report with a `circuits` array.
+pub fn compare_reports(
+    baseline: &Json,
+    current: &Json,
+    thresholds: &Thresholds,
+) -> Result<GateOutcome, String> {
+    validate(baseline, "baseline")?;
+    validate(current, "current")?;
+    let current_circuits = current
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .ok_or("current report has no circuits array")?;
+    baseline
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .ok_or("baseline report has no circuits array")?;
+
+    let mut outcome = GateOutcome::default();
+    for fresh in current_circuits {
+        let Some(name) = fresh.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base) = find_circuit(baseline, name) else {
+            continue;
+        };
+        outcome.matched += 1;
+
+        for metric in ["gates", "literals", "mem_proxy"] {
+            let (Some(b), Some(c)) = (bds_metric(base, metric), bds_metric(fresh, metric)) else {
+                continue;
+            };
+            if c > b {
+                outcome.regressions.push(Regression {
+                    circuit: name.to_string(),
+                    metric,
+                    baseline: b,
+                    current: c,
+                    limit: b,
+                });
+            } else if c < b {
+                outcome.improved += 1;
+            }
+        }
+
+        if let (Some(b), Some(c)) = (bds_metric(base, "seconds"), bds_metric(fresh, "seconds")) {
+            let limit = b * (1.0 + thresholds.seconds_pct / 100.0) + thresholds.seconds_floor;
+            if c > limit {
+                outcome.regressions.push(Regression {
+                    circuit: name.to_string(),
+                    metric: "seconds",
+                    baseline: b,
+                    current: c,
+                    limit,
+                });
+            } else if c < b {
+                outcome.improved += 1;
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, u64, u64, u64, f64)]) -> Json {
+        let circuits = rows
+            .iter()
+            .map(|&(name, gates, literals, mem_proxy, seconds)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(name.into())),
+                    (
+                        "bds".into(),
+                        Json::Obj(vec![
+                            ("gates".into(), Json::Int(gates)),
+                            ("literals".into(), Json::Int(literals)),
+                            ("mem_proxy".into(), Json::Int(mem_proxy)),
+                            ("seconds".into(), Json::Num(seconds)),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(REPORT_SCHEMA.into())),
+            ("bench".into(), Json::Str("test".into())),
+            ("circuits".into(), Json::Arr(circuits)),
+        ])
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let doc = report(&[("a", 10, 20, 30, 0.05), ("b", 5, 9, 7, 0.01)]);
+        let outcome = compare_reports(&doc, &doc, &Thresholds::default()).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.matched, 2);
+        assert_eq!(outcome.improved, 0);
+    }
+
+    #[test]
+    fn count_increase_is_an_exact_regression() {
+        let base = report(&[("a", 10, 20, 30, 0.05)]);
+        let fresh = report(&[("a", 11, 20, 30, 0.05)]);
+        let outcome = compare_reports(&base, &fresh, &Thresholds::default()).unwrap();
+        assert!(!outcome.passed());
+        assert_eq!(outcome.regressions.len(), 1);
+        let r = &outcome.regressions[0];
+        assert_eq!((r.circuit.as_str(), r.metric), ("a", "gates"));
+        assert_eq!((r.baseline, r.current, r.limit), (10.0, 11.0, 10.0));
+        assert!(outcome.render().contains("REGRESSION a"));
+    }
+
+    #[test]
+    fn wall_time_tolerates_noise_but_not_blowups() {
+        let base = report(&[("a", 10, 20, 30, 0.05)]);
+        // 4x on a 50ms circuit is still inside 2x + 250ms slack.
+        let noisy = report(&[("a", 10, 20, 30, 0.20)]);
+        let t = Thresholds::default();
+        assert!(compare_reports(&base, &noisy, &t).unwrap().passed());
+        // Past the relative + absolute allowance it fails.
+        let blown = report(&[("a", 10, 20, 30, 0.40)]);
+        let tight = Thresholds {
+            seconds_pct: 100.0,
+            seconds_floor: 0.01,
+        };
+        let outcome = compare_reports(&base, &blown, &tight).unwrap();
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].metric, "seconds");
+        assert!((outcome.regressions[0].limit - 0.11).abs() < 1e-9);
+    }
+
+    #[test]
+    fn improvements_are_counted_not_failed() {
+        let base = report(&[("a", 10, 20, 30, 0.05)]);
+        let fresh = report(&[("a", 8, 18, 30, 0.01)]);
+        let outcome = compare_reports(&base, &fresh, &Thresholds::default()).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.improved, 3);
+    }
+
+    #[test]
+    fn disjoint_reports_match_nothing() {
+        let base = report(&[("a", 10, 20, 30, 0.05)]);
+        let fresh = report(&[("z", 10, 20, 30, 0.05)]);
+        let outcome = compare_reports(&base, &fresh, &Thresholds::default()).unwrap();
+        assert_eq!(outcome.matched, 0);
+        assert!(outcome.passed());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let good = report(&[]);
+        let bad = Json::Obj(vec![("schema".into(), Json::Str("nope/v9".into()))]);
+        assert!(compare_reports(&bad, &good, &Thresholds::default()).is_err());
+        assert!(compare_reports(&good, &bad, &Thresholds::default()).is_err());
+    }
+}

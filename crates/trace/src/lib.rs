@@ -12,19 +12,40 @@
 //! * **hierarchical spans** — `span!("flow.eliminate")` returns a guard
 //!   that records wall-clock time into a call tree aggregated by
 //!   `(parent, name)`;
+//! * a **flight recorder** ([`journal`]) — a bounded ring buffer of
+//!   time-ordered structured events (`event!` marks plus every span
+//!   enter/exit), drained by [`take_journal`] and exported by
+//!   [`export::perfetto_trace`] (Chrome/Perfetto trace-event JSON) and
+//!   [`export::folded_stacks`] (flamegraph folded-stack text);
 //! * **sinks** — [`Snapshot::render_tree`] for humans and
 //!   [`Snapshot::to_json`] for `BENCH_*.json` reports, with a serde-free
 //!   parser ([`json::parse`]) so reports can be diffed and compared by the
-//!   bench `summary` tool.
+//!   bench `summary` tool;
+//! * a **regression gate** ([`gate`]) — threshold comparison of two
+//!   report files, shared by `bds-bench summary --compare` and
+//!   `cargo xtask perfgate`.
 //!
 //! # Feature gating
 //!
-//! The registry, snapshot, and JSON machinery are always compiled (tests
-//! and the bench harness drive them directly), but the instrumentation
-//! macros — [`counter!`], [`counter_add!`], [`gauge!`], [`histogram!`],
-//! [`span!`] — expand to no-ops unless the `enabled` feature is on.
-//! Instrumented crates forward a `trace` feature to `bds-trace/enabled`,
-//! so a default build pays nothing on its hot paths.
+//! The registry, snapshot, journal, and JSON machinery are always
+//! compiled (tests and the bench harness drive them directly), but the
+//! instrumentation macros — [`counter!`], [`counter_add!`], [`gauge!`],
+//! [`histogram!`], [`span!`], [`event!`] — expand to no-ops unless the
+//! `enabled` feature is on. Instrumented crates forward a `trace` feature
+//! to `bds-trace/enabled`, so a default build pays nothing on its hot
+//! paths.
+//!
+//! # Thread locality
+//!
+//! The registry and the journal are **thread-local**: each thread
+//! accumulates into its own instance, so the hot path takes no locks and
+//! parallel tests cannot contaminate each other. The flip side is that
+//! [`take_snapshot`] and [`take_journal`] only see the calling thread's
+//! data — metrics recorded on sibling threads are **silently absent**
+//! from the result, not merged. Today's flow and bench harness are
+//! single-threaded, so in practice "thread-local" means "process-local";
+//! any future parallel phase must drain its workers' snapshots on the
+//! worker threads and merge them explicitly.
 //!
 //! # Example
 //!
@@ -44,17 +65,36 @@
 
 #![forbid(unsafe_code)]
 
+/// Trace exporters: Perfetto trace-event JSON and folded flamegraph text.
+pub mod export;
+/// Perf-regression gate: threshold comparison of two report files.
+pub mod gate;
+/// Flight-recorder journal: bounded ring buffer of structured events.
+pub mod journal;
 /// Serde-free JSON value, renderer and parser for report files.
 pub mod json;
 mod macros;
 mod registry;
 mod span;
 
+pub use journal::{
+    clear_journal, journal_len, record_event, set_journal_capacity, take_journal, Event, EventKind,
+    FieldValue, Journal, DEFAULT_JOURNAL_CAPACITY,
+};
 pub use registry::{
-    add_counter, counter_value, record_histogram, reset, set_gauge, span_depth, take_snapshot,
-    Histogram, Snapshot, SpanSnap,
+    add_counter, counter_value, record_histogram, set_gauge, span_depth, take_snapshot,
+    take_snapshot_in_flight, Histogram, Snapshot, SpanSnap,
 };
 pub use span::{fmt_duration_ns, span_enter, NoopSpan, SpanGuard, Stopwatch};
+
+/// Clears every metric on this thread — registry (counters, gauges,
+/// histograms, spans) and journal events alike. The journal's timestamp
+/// epoch and ring capacity survive, so events recorded after a reset
+/// still share one ordered timeline with earlier drains.
+pub fn reset() {
+    registry::reset();
+    journal::clear_journal();
+}
 
 /// `true` when the crate was built with the `enabled` feature, i.e. the
 /// instrumentation macros are live rather than no-ops.

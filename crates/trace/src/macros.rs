@@ -97,6 +97,34 @@ macro_rules! histogram {
     }};
 }
 
+/// Records one structured instant event into the flight-recorder
+/// journal: a kind string plus `key = value` fields (any type with a
+/// [`crate::FieldValue`] `From` impl).
+///
+/// ```
+/// bds_trace::event!("decompose.choice", method = "and_dom", delta = -3i64);
+/// ```
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! event {
+    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        $crate::record_event(
+            $kind,
+            vec![$((stringify!($key), $crate::FieldValue::from($value))),*],
+        )
+    };
+}
+
+/// Records one journal event. (No-op: `enabled` is off.)
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! event {
+    ($kind:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let _ = $kind;
+        $( let _ = &$value; )*
+    }};
+}
+
 /// Opens a hierarchical wall-clock span; bind the result so the guard
 /// lives for the region being timed. Extra `key = value` attributes are
 /// accepted for readability at the call site (they are evaluated but not

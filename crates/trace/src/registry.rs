@@ -80,6 +80,38 @@ impl Histogram {
         }
         0
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), or 0.0 when empty.
+    ///
+    /// The target rank `q * count` is located by walking the cumulative
+    /// bucket counts; within the hit bucket the value is linearly
+    /// interpolated across the bucket's `[2^(i-1), 2^i)` range. The
+    /// estimate is exact only up to bucket resolution — good enough for
+    /// the p50/p95 summary lines in [`Snapshot::render_tree`].
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)] // tallies; f64 loss fine for a summary stat
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut below = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (below + c) as f64 >= rank {
+                if i == 0 {
+                    return 0.0;
+                }
+                let lo = (1u64 << (i - 1)) as f64;
+                let frac = ((rank - below as f64) / c as f64).clamp(0.0, 1.0);
+                return lo + lo * frac;
+            }
+            below += c;
+        }
+        self.max_bucket_floor() as f64
+    }
 }
 
 /// One aggregated node of the span call tree in a [`Snapshot`].
@@ -164,9 +196,11 @@ impl Snapshot {
             out.push_str("histograms:\n");
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "  {name}: count={} mean={:.1} max>={}\n",
+                    "  {name}: count={} mean={:.1} p50={:.1} p95={:.1} max>={}\n",
                     h.count,
                     h.mean(),
+                    h.percentile(0.50),
+                    h.percentile(0.95),
                     h.max_bucket_floor()
                 ));
             }
@@ -454,11 +488,48 @@ pub fn reset() {
     with(|r| *r = Registry::default());
 }
 
-/// Copies all metrics out and clears the registry, preserving the chain
-/// of currently open spans (with zeroed timings) so in-flight guards
-/// keep recording into a consistent tree.
+/// Copies all metrics out and clears the registry.
+///
+/// The registry is **thread-local**: this returns only the calling
+/// thread's metrics, and anything recorded on sibling threads is
+/// silently absent (see the crate docs). A snapshot is normally taken at
+/// a quiescent point — all span guards dropped — and debug builds assert
+/// `span_depth() == 0` to catch snapshots inside an open span, where the
+/// open span would show zero completed calls. Use
+/// [`take_snapshot_in_flight`] when a mid-span capture is intentional.
+///
+/// ```
+/// bds_trace::reset();
+/// {
+///     let _s = bds_trace::span_enter("work");
+///     bds_trace::add_counter("steps", 2);
+/// } // guard dropped: depth back to 0, safe to snapshot
+/// let snap = bds_trace::take_snapshot();
+/// assert_eq!(snap.counter("steps"), Some(2));
+///
+/// // Metrics recorded on another thread do NOT appear here:
+/// std::thread::spawn(|| bds_trace::add_counter("elsewhere", 1))
+///     .join()
+///     .unwrap();
+/// assert_eq!(bds_trace::take_snapshot().counter("elsewhere"), None);
+/// ```
 #[must_use]
 pub fn take_snapshot() -> Snapshot {
+    debug_assert_eq!(
+        span_depth(),
+        0,
+        "take_snapshot inside an open span; drop the guards first or use \
+         take_snapshot_in_flight"
+    );
+    take_snapshot_in_flight()
+}
+
+/// Like [`take_snapshot`], but explicitly allowed while spans are open:
+/// the chain of open spans is preserved in the cleared registry (with
+/// zeroed timings) so in-flight guards keep recording into a consistent
+/// tree. The open spans appear in the snapshot with zero completed calls.
+#[must_use]
+pub fn take_snapshot_in_flight() -> Snapshot {
     with(|r| {
         let snap = r.snapshot();
         let chain: Vec<&'static str> = r.stack.iter().map(|&i| r.arena[i].name).collect();
@@ -507,6 +578,28 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut h = Histogram::default();
+        assert_eq!(h.percentile(0.5), 0.0);
+        for v in 1..=8u64 {
+            h.record(v);
+        }
+        // Buckets: [1]=1, [2]=2 (values 2-3), [3]=4 (values 4-7), [4]=1
+        // (value 8). p50 rank = 4.0 lands in bucket 3 (cumulative 3..7):
+        // lo=4, frac=(4-3)/4 -> 4 + 4*0.25 = 5.0.
+        assert!((h.percentile(0.50) - 5.0).abs() < 1e-9);
+        // p95 rank = 7.6 lands in bucket 4 (cumulative 7..8): lo=8,
+        // frac=(7.6-7)/1 -> 8 + 8*0.6 = 12.8.
+        assert!((h.percentile(0.95) - 12.8).abs() < 1e-9);
+        // Extremes clamp instead of running off the bucket array.
+        assert!((h.percentile(0.0) - 1.0).abs() < 1e-9);
+        assert!((h.percentile(1.0) - 16.0).abs() < 1e-9);
+        let mut zeros = Histogram::default();
+        zeros.record(0);
+        assert_eq!(zeros.percentile(0.99), 0.0);
+    }
+
+    #[test]
     fn spans_aggregate_by_parent_and_name() {
         reset();
         for _ in 0..3 {
@@ -531,7 +624,7 @@ mod tests {
     fn snapshot_preserves_open_span_chain() {
         reset();
         let outer = crate::span_enter("outer");
-        let first = take_snapshot();
+        let first = take_snapshot_in_flight();
         // `outer` had not finished, so it appears with zero completed calls.
         assert_eq!(first.spans[0].calls, 0);
         {

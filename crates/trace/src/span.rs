@@ -6,7 +6,7 @@
 
 use std::time::Instant;
 
-use crate::registry;
+use crate::{journal, registry};
 
 /// RAII guard for an open span: records elapsed wall-clock time into the
 /// registry's span tree when dropped. Created by [`span_enter`] or the
@@ -19,8 +19,11 @@ pub struct SpanGuard {
 
 /// Opens a span named `name` nested under the innermost open span on
 /// this thread. Hold the returned guard for the duration of the work.
+/// Besides the aggregated tree entry, the enter and the eventual exit
+/// each land in the flight-recorder journal as timestamped events.
 pub fn span_enter(name: &'static str) -> SpanGuard {
     registry::enter_named(name);
+    journal::record_span_enter(name);
     SpanGuard {
         name,
         start: Instant::now(),
@@ -32,6 +35,7 @@ impl Drop for SpanGuard {
         // u64 nanoseconds cover ~584 years; saturate rather than wrap.
         let ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         registry::exit_named(self.name, ns);
+        journal::record_span_exit(self.name);
     }
 }
 

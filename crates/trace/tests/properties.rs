@@ -80,9 +80,11 @@ fn span_nesting_always_balances() {
             assert_eq!(bds_trace::span_depth(), guards.len());
         }
         // A snapshot taken with spans still open must report the open
-        // chain without disturbing it.
+        // chain without disturbing it. (The plain `take_snapshot` debug-
+        // asserts depth 0; the `_in_flight` variant is the sanctioned
+        // mid-span capture.)
         let depth_before = bds_trace::span_depth();
-        let snap = bds_trace::take_snapshot();
+        let snap = bds_trace::take_snapshot_in_flight();
         assert_eq!(bds_trace::span_depth(), depth_before);
         if depth_before > 0 {
             assert!(!snap.spans.is_empty());

@@ -1,6 +1,6 @@
 //! Workspace automation (`cargo xtask`).
 //!
-//! Two subcommands:
+//! Three subcommands:
 //!
 //! * `cargo xtask lint` — custom static checks that `rustc`/`clippy` do
 //!   not cover for this workspace:
@@ -14,10 +14,10 @@
 //!      (escape hatch: `// lint:allow(print)`),
 //!   4. public items in `bds-bdd`, `bds-network` and `bds-trace` carry
 //!      doc comments,
-//!   5. no direct `Instant::now()` outside `bds-trace` and `bds-bench` —
-//!      instrumented crates time through `bds_trace::Stopwatch`/`span!`
-//!      so wall-clock reads stay observable (escape hatch:
-//!      `// lint:allow(instant)`).
+//!   5. no direct `Instant::now()` or `SystemTime::now()` outside
+//!      `bds-trace` and `bds-bench` — instrumented crates time through
+//!      `bds_trace::Stopwatch`/`span!` so wall-clock reads stay
+//!      observable (escape hatch: `// lint:allow(instant)`).
 //!
 //!   Violations are reported as `path:line: [rule] message` and the
 //!   process exits nonzero.
@@ -27,6 +27,16 @@
 //!   custom lints above, then `cargo test --workspace`, then a build and
 //!   test pass with the `trace` feature on (`--features bds-bench/trace`)
 //!   so the instrumented configuration cannot rot.
+//!
+//! * `cargo xtask perfgate` — the perf-regression gate: runs the
+//!   trace-enabled `table1` bench (or takes a pre-generated report via
+//!   `--fresh <path>`), compares it against the checked-in baseline
+//!   (`results/BENCH_flow.json`, override with `--baseline <path>`)
+//!   through [`bds_trace::gate::compare_reports`], and exits nonzero on
+//!   any regression — structural counts are exact, wall time gets a
+//!   noise allowance. Zero matched circuits is also a failure: a gate
+//!   that compares nothing protects nothing. The fresh report is left at
+//!   `target/perfgate/fresh.json` so CI can upload it as an artifact.
 //!
 //! A file-level escape hatch `// lint:allow-file(<rule>): <reason>`
 //! anywhere in a file disables one rule for that whole file.
@@ -41,10 +51,13 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => run_lint(),
         Some("ci") => run_ci(),
+        Some("perfgate") => run_perfgate(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|ci>");
-            eprintln!("  lint  run the custom workspace lints");
-            eprintln!("  ci    fmt --check, clippy -D warnings, custom lints, tests");
+            eprintln!("usage: cargo xtask <lint|ci|perfgate>");
+            eprintln!("  lint      run the custom workspace lints");
+            eprintln!("  ci        fmt --check, clippy -D warnings, custom lints, tests");
+            eprintln!("  perfgate  gate a fresh table1 run against the checked-in baseline");
+            eprintln!("            [--baseline <report.json>] [--fresh <report.json>]");
             ExitCode::from(2)
         }
     }
@@ -128,6 +141,125 @@ fn run_cargo(root: &Path, args: &[&str]) -> bool {
             false
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// `cargo xtask perfgate`
+// ---------------------------------------------------------------------------
+
+/// Where `perfgate` leaves the freshly generated report (relative to the
+/// workspace root) so CI can pick it up as an artifact.
+const FRESH_REPORT: &str = "target/perfgate/fresh.json";
+
+/// Default baseline: the checked-in trace-enabled `table1` report.
+const BASELINE_REPORT: &str = "results/BENCH_flow.json";
+
+fn run_perfgate(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut baseline = root.join(BASELINE_REPORT);
+    let mut fresh: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--baseline" => match it.next() {
+                Some(p) => baseline = PathBuf::from(p),
+                None => return perfgate_usage("--baseline needs a path"),
+            },
+            "--fresh" => match it.next() {
+                Some(p) => fresh = Some(PathBuf::from(p)),
+                None => return perfgate_usage("--fresh needs a path"),
+            },
+            other => return perfgate_usage(&format!("unknown flag {other}")),
+        }
+    }
+
+    let fresh = match fresh {
+        Some(path) => path,
+        None => {
+            // Regenerate: a release table1 run with tracing on, writing
+            // the same report the baseline was produced from.
+            let out = root.join(FRESH_REPORT);
+            println!(
+                "perfgate: running trace-enabled table1 -> {}",
+                out.display()
+            );
+            if !run_cargo(
+                &root,
+                &[
+                    "run",
+                    "--release",
+                    "--features",
+                    "trace",
+                    "--bin",
+                    "table1",
+                    "--",
+                    "--json",
+                    FRESH_REPORT,
+                ],
+            ) {
+                eprintln!("perfgate: table1 run failed");
+                return ExitCode::FAILURE;
+            }
+            out
+        }
+    };
+
+    let baseline_doc = match load_report(&baseline) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!(
+                "perfgate: cannot load baseline {}: {err}",
+                baseline.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh_doc = match load_report(&fresh) {
+        Ok(doc) => doc,
+        Err(err) => {
+            eprintln!(
+                "perfgate: cannot load fresh report {}: {err}",
+                fresh.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let thresholds = bds_trace::gate::Thresholds::default();
+    let outcome = match bds_trace::gate::compare_reports(&baseline_doc, &fresh_doc, &thresholds) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("perfgate: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", outcome.render());
+    if outcome.matched == 0 {
+        eprintln!(
+            "perfgate: no circuits in common between {} and {} — refusing to pass an empty gate",
+            baseline.display(),
+            fresh.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    if outcome.passed() {
+        println!("perfgate: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perfgate: FAILED");
+        ExitCode::FAILURE
+    }
+}
+
+fn load_report(path: &Path) -> Result<bds_trace::json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    bds_trace::json::parse(&text).map_err(|e| e.to_string())
+}
+
+fn perfgate_usage(problem: &str) -> ExitCode {
+    eprintln!("perfgate: {problem}");
+    eprintln!("usage: cargo xtask perfgate [--baseline <report.json>] [--fresh <report.json>]");
+    ExitCode::from(2)
 }
 
 // ---------------------------------------------------------------------------
@@ -265,8 +397,10 @@ const PRINT_TOKENS: [&str; 4] = ["println!(", "eprintln!(", "print!(", "eprint!(
 /// Direct wall-clock reads banned from instrumented crates: timing goes
 /// through `bds_trace::Stopwatch` / `span!` so it shows up in reports.
 /// `bds-trace` implements those primitives and `bds-bench` owns the
-/// micro-benchmark runner, so both are exempt.
-const INSTANT_TOKEN: &str = "Instant::now(";
+/// micro-benchmark runner, so both are exempt. `SystemTime` is on the
+/// list for the same reason (plus it is non-monotonic, so it is wrong
+/// for durations anyway).
+const INSTANT_TOKENS: [&str; 2] = ["Instant::now(", "SystemTime::now("];
 
 fn instant_exempt(rel: &Path) -> bool {
     let s = rel.to_string_lossy().replace('\\', "/");
@@ -331,19 +465,22 @@ fn lint_file(rel: &Path, text: &str, violations: &mut Vec<Violation>) {
                 }
             }
         }
-        if instant_applies
-            && !allow_file_instant
-            && contains_token(clean, INSTANT_TOKEN)
-            && !allowed(idx, "instant")
-        {
-            violations.push(Violation {
-                path: rel.to_path_buf(),
-                line: line_no,
-                rule: "instant",
-                message: "direct `Instant::now()` in an instrumented crate; time through \
-                          `bds_trace::Stopwatch`/`span!` or justify with `// lint:allow(instant)`"
-                    .to_string(),
-            });
+        if instant_applies && !allow_file_instant && !allowed(idx, "instant") {
+            for tok in INSTANT_TOKENS {
+                if contains_token(clean, tok) {
+                    violations.push(Violation {
+                        path: rel.to_path_buf(),
+                        line: line_no,
+                        rule: "instant",
+                        message: format!(
+                            "direct `{})` in an instrumented crate; time through \
+                             `bds_trace::Stopwatch`/`span!` or justify with \
+                             `// lint:allow(instant)`",
+                            tok.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
         }
         if is_docs_crate && !allow_file_docs && !allowed(idx, "docs") {
             if let Some(item) = public_item(clean) {
@@ -711,6 +848,13 @@ mod tests {
         let text = "fn f() {\n    let t0 = Instant::now();\n}\n";
         assert!(lint_at("crates/trace/src/span.rs", text).is_empty());
         assert!(lint_at("crates/bench/src/timing.rs", text).is_empty());
+    }
+
+    #[test]
+    fn system_time_now_flagged_like_instant() {
+        let text = "fn f() {\n    let t = std::time::SystemTime::now();\n}\n";
+        assert_eq!(lint_at("crates/bdd/src/lib.rs", text), vec!["instant:2"]);
+        assert!(lint_at("crates/trace/src/span.rs", text).is_empty());
     }
 
     #[test]
