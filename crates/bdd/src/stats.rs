@@ -41,6 +41,19 @@ impl OpStats {
         self.nodes_created += other.nodes_created;
     }
 
+    /// Merges an iterator of per-manager (or per-worker) counter sets
+    /// into one total. Addition is commutative, so the result does not
+    /// depend on the order worker threads finished in — the property the
+    /// sharded flow relies on to keep its reports deterministic.
+    #[must_use]
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a OpStats>) -> OpStats {
+        let mut total = OpStats::default();
+        for s in stats {
+            total.merge(s);
+        }
+        total
+    }
+
     /// Computed-table hit rate in `[0, 1]`, or 0.0 before any lookup.
     #[must_use]
     pub fn cache_hit_rate(&self) -> f64 {
@@ -54,6 +67,22 @@ impl OpStats {
                 self.cache_hits as f64 / total as f64
             }
         }
+    }
+}
+
+impl std::iter::Sum for OpStats {
+    fn sum<I: Iterator<Item = OpStats>>(iter: I) -> Self {
+        let mut total = OpStats::default();
+        for s in iter {
+            total.merge(&s);
+        }
+        total
+    }
+}
+
+impl<'a> std::iter::Sum<&'a OpStats> for OpStats {
+    fn sum<I: Iterator<Item = &'a OpStats>>(iter: I) -> Self {
+        OpStats::merged(iter)
     }
 }
 
@@ -179,6 +208,34 @@ mod tests {
                 nodes_created: 66,
             }
         );
+    }
+
+    #[test]
+    fn sum_and_merged_aggregate_in_any_order() {
+        let parts = [
+            OpStats {
+                ite_calls: 1,
+                nodes_created: 2,
+                ..OpStats::default()
+            },
+            OpStats {
+                ite_calls: 10,
+                cache_hits: 5,
+                ..OpStats::default()
+            },
+            OpStats {
+                unique_hits: 3,
+                ..OpStats::default()
+            },
+        ];
+        let forward: OpStats = parts.iter().sum();
+        let backward: OpStats = parts.iter().rev().copied().sum();
+        assert_eq!(forward, backward);
+        assert_eq!(forward, OpStats::merged(&parts));
+        assert_eq!(forward.ite_calls, 11);
+        assert_eq!(forward.cache_hits, 5);
+        assert_eq!(forward.unique_hits, 3);
+        assert_eq!(forward.nodes_created, 2);
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! [`optimize`] picks automatically: it attempts the global build under a
 //! node budget and falls back to partitioned mode.
 
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
 use bds_bdd::reorder::{sift, SiftLimits};
 use bds_bdd::{Manager, OpStats};
 use bds_network::{EliminateParams, Network, NetworkError, SignalId};
@@ -25,7 +27,7 @@ use bds_trace::Stopwatch;
 use bds_map::{map_network, Library};
 
 use crate::decompose::{DecomposeParams, DecomposeStats, Decomposer};
-use crate::factor_tree::FactorForest;
+use crate::factor_tree::{FactorForest, FactorRef};
 use crate::sharing::{alias, emit_forest};
 
 /// Which flow variant produced a result.
@@ -61,6 +63,15 @@ pub struct FlowParams {
     /// partitioned local BDDs will synthesize better, exactly the
     /// situation the paper's partitioned environment exists for.
     pub global_blowup_factor: usize,
+    /// Worker threads for the sharded partitioned flow (and the
+    /// portfolio candidates inside [`optimize`]). `1` keeps everything
+    /// on the calling thread; `0` means "use the machine"
+    /// (`std::thread::available_parallelism`). Any value is a **pure
+    /// scheduling choice**: every structural result — networks, literal
+    /// counts, decompose statistics, BDD operation counters, peak
+    /// gauges — is identical for every `jobs` setting; only wall-clock
+    /// fields may differ.
+    pub jobs: usize,
 }
 
 impl Default for FlowParams {
@@ -73,7 +84,29 @@ impl Default for FlowParams {
             global_max_inputs: 64,
             sdc: None,
             global_blowup_factor: 1,
+            jobs: default_jobs(),
         }
+    }
+}
+
+/// Default worker count: the `BDS_FLOW_JOBS` environment variable when
+/// set and parseable (`0` = auto-detect), else `1` (sequential). The
+/// env hook lets an entire test suite or CI leg exercise the sharded
+/// path without threading a flag through every call site.
+fn default_jobs() -> usize {
+    std::env::var("BDS_FLOW_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(1)
+}
+
+/// Resolves a `jobs` setting to a concrete worker count (`0` = one
+/// worker per available core).
+fn effective_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        jobs
     }
 }
 
@@ -143,21 +176,34 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
         }
     }
 
-    {
-        let mut collapsed = work.clone();
-        // Phase boundary: eliminate audits the partial collapse on exit.
-        let eliminated = collapsed.eliminate(&params.eliminate)?;
-        collapsed.sweep()?;
+    // Two partitioned candidates: the eliminate-collapsed network, and a
+    // structure-preserving decomposition of the swept network without
+    // any collapse. For array-like circuits (multipliers, adders) the
+    // input structure is already near-optimal and both the global form
+    // and the eliminate-collapse destroy it. The partial collapse runs
+    // on this thread (its audit ordering matches the sequential flow);
+    // with `jobs > 1` the two independent candidate pipelines then run
+    // concurrently, each draining its trace state for a deterministic
+    // fixed-order merge back into this thread.
+    let mut collapsed = work.clone();
+    // Phase boundary: eliminate audits the partial collapse on exit.
+    let eliminated = collapsed.eliminate(&params.eliminate)?;
+    collapsed.sweep()?;
+    if effective_jobs(params.jobs) > 1 {
+        let (first, second) = run_candidate_pair(
+            || optimize_partitioned(&collapsed, params),
+            || optimize_partitioned(&work, params),
+        );
+        let (out, mut report) = first?;
+        report.eliminated = eliminated;
+        candidates.push((out, report));
+        candidates.push(second?);
+    } else {
         let (out, mut report) = optimize_partitioned(&collapsed, params)?;
         report.eliminated = eliminated;
         candidates.push((out, report));
+        candidates.push(optimize_partitioned(&work, params)?);
     }
-
-    // Always keep a structure-preserving candidate: decomposition of the
-    // swept network without any collapse. For array-like circuits
-    // (multipliers, adders) the input structure is already near-optimal
-    // and both the global form and the eliminate-collapse destroy it.
-    candidates.push(optimize_partitioned(&work, params)?);
 
     // Select by the real objective: mapped cell area under the shared
     // mcnc-style library (literal counts undervalue XOR/MUX cells).
@@ -180,6 +226,37 @@ pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowRepo
     out.audit()?;
     report.seconds = start.seconds();
     Ok((out, report))
+}
+
+/// Runs two independent flow candidates on scoped worker threads and
+/// returns their results in argument order. Each worker drains its
+/// thread-local trace registry and journal on exit; the coordinator
+/// absorbs them in the same fixed order, so the merged trace does not
+/// depend on which candidate finished first.
+fn run_candidate_pair<T: Send>(
+    a: impl FnOnce() -> T + Send,
+    b: impl FnOnce() -> T + Send,
+) -> (T, T) {
+    let ((ra, snap_a, journal_a), (rb, snap_b, journal_b)) = std::thread::scope(|s| {
+        let ha = s.spawn(move || {
+            let out = a();
+            (out, bds_trace::take_snapshot(), bds_trace::take_journal())
+        });
+        let hb = s.spawn(move || {
+            let out = b();
+            (out, bds_trace::take_snapshot(), bds_trace::take_journal())
+        });
+        let join = |h: std::thread::ScopedJoinHandle<'_, _>| match h.join() {
+            Ok(out) => out,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (join(ha), join(hb))
+    });
+    bds_trace::absorb_snapshot(&snap_a);
+    bds_trace::absorb_journal(journal_a);
+    bds_trace::absorb_snapshot(&snap_b);
+    bds_trace::absorb_journal(journal_b);
+    (ra, rb)
 }
 
 /// Global-mode flow: one BDD per output in a shared manager, sifted
@@ -278,9 +355,179 @@ pub fn optimize_global(
     ))
 }
 
+/// Everything a supernode's decomposition produces, independent of the
+/// output network: the pure, parallelizable part of the partitioned
+/// flow. Plain data (forest + counters), so shards cross thread
+/// boundaries freely.
+struct NodeArtifact {
+    /// Factoring forest holding this node's decomposition.
+    forest: FactorForest,
+    /// Root of the decomposition within `forest`.
+    root: FactorRef,
+    /// Decomposition step counts for this node.
+    stats: DecomposeStats,
+    /// BDD operation counters from this node's managers.
+    ops: OpStats,
+    /// Arena size of the node's manager after sifting.
+    peak: usize,
+    /// Peak unique-table entries (tracked only when tracing is live).
+    peak_unique: usize,
+    /// Peak computed-table entries (tracked only when tracing is live).
+    peak_computed: usize,
+}
+
+/// Runs one supernode through the local-BDD pipeline — build → sift →
+/// decompose — on the calling thread, touching nothing but its own
+/// fresh [`Manager`], [`Decomposer`], and [`FactorForest`]. Because no
+/// state crosses from one supernode to the next, the result is
+/// bit-identical whether the calls happen on one thread or many: the
+/// determinism the sharded driver is built on.
+fn decompose_supernode(
+    work: &Network,
+    sig: SignalId,
+    fanins: &[SignalId],
+    params: &FlowParams,
+) -> Result<NodeArtifact, NetworkError> {
+    let mut ops = OpStats::default();
+    let mut mgr = Manager::new();
+    let vars: Vec<bds_bdd::Var> = fanins
+        .iter()
+        .map(|&f| mgr.new_var(work.signal_name(f)))
+        .collect();
+    let edge = {
+        let _span = bds_trace::span!("flow.build", node = sig.index());
+        work.local_bdd(sig, &mut mgr, &vars)?
+    };
+    ops.merge(&mgr.op_stats());
+    let (mut mgr, edges) = {
+        let _span = bds_trace::span!("flow.reorder");
+        sift(&mgr, &[edge], params.sift).map_err(NetworkError::Bdd)?
+    };
+    let edge = edges[0];
+    let peak = mgr.arena_size();
+
+    let mut forest = FactorForest::new();
+    let mut dec = Decomposer::new();
+    let root = {
+        let _span = bds_trace::span!("flow.decompose", node = sig.index());
+        dec.decompose(&mut mgr, edge, &mut forest, &params.decompose)
+            .map_err(NetworkError::Bdd)?
+    };
+    ops.merge(&mgr.op_stats());
+    let (mut peak_unique, mut peak_computed) = (0, 0);
+    if bds_trace::is_enabled() {
+        let table = mgr.table_stats();
+        peak_unique = table.unique_entries;
+        peak_computed = table.computed_entries;
+    }
+    Ok(NodeArtifact {
+        forest,
+        root,
+        stats: dec.stats,
+        ops,
+        peak,
+        peak_unique,
+        peak_computed,
+    })
+}
+
+/// Distributes `items` (topo-indexed supernodes) across `jobs` scoped
+/// worker threads and returns the artifacts **in item order**. Workers
+/// claim items from a shared atomic cursor, record trace data into
+/// their own thread-local registries, and drain those registries before
+/// exiting; the coordinator re-absorbs every worker's snapshot and
+/// journal in fixed worker-index order, so the merged trace is the same
+/// regardless of which thread processed which item or finished first.
+///
+/// On failure the error with the **smallest item index** is returned
+/// (matching what a sequential run would hit first), and remaining
+/// workers stop claiming items at the next cursor check.
+fn decompose_sharded(
+    work: &Network,
+    items: &[(SignalId, Vec<SignalId>)],
+    params: &FlowParams,
+    jobs: usize,
+) -> Result<Vec<NodeArtifact>, NetworkError> {
+    type WorkerOut = (
+        Vec<(usize, Result<NodeArtifact, NetworkError>)>,
+        bds_trace::Snapshot,
+        bds_trace::Journal,
+    );
+    let cursor = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let worker_outs: Vec<WorkerOut> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut done: Vec<(usize, Result<NodeArtifact, NetworkError>)> = Vec::new();
+                    loop {
+                        if abort.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some((sig, fanins)) = items.get(i) else {
+                            break;
+                        };
+                        let r = decompose_supernode(work, *sig, fanins, params);
+                        if r.is_err() {
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        done.push((i, r));
+                    }
+                    // Hand the thread-local trace state to the
+                    // coordinator; a worker that exits without draining
+                    // would silently lose its metrics.
+                    (done, bds_trace::take_snapshot(), bds_trace::take_journal())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut slots: Vec<Option<NodeArtifact>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let mut first_err: Option<(usize, NetworkError)> = None;
+    for (done, snapshot, journal) in worker_outs {
+        bds_trace::absorb_snapshot(&snapshot);
+        bds_trace::absorb_journal(journal);
+        for (i, r) in done {
+            match r {
+                Ok(artifact) => slots[i] = Some(artifact),
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.ok_or_else(|| NetworkError::Inconsistent {
+                detail: format!("sharded flow lost supernode #{i}"),
+            })
+        })
+        .collect()
+}
+
 /// Partitioned-mode flow: each supernode is decomposed on its own local
 /// BDD (fresh manager per node, as in the paper's partitioned Boolean
-/// network environment).
+/// network environment). With [`FlowParams::jobs`] > 1 the per-node
+/// pipelines run on worker threads; sharing extraction then stitches
+/// the artifacts into the output network **in topological-index order**
+/// on the calling thread, so the emitted network, the report, and the
+/// merged trace are identical for every thread count.
 ///
 /// # Errors
 /// Propagates network construction errors.
@@ -302,49 +549,35 @@ pub fn optimize_partitioned(
     for &i in work.inputs() {
         map[i.index()] = Some(out.add_input(work.signal_name(i))?);
     }
-    for sig in work.topo_order() {
-        if work.is_input(sig) {
-            continue;
-        }
-        let Some((fanins, _)) = work.node(sig) else {
-            continue;
-        };
-        let fanins = fanins.to_vec();
-        let mut mgr = Manager::new();
-        let vars: Vec<bds_bdd::Var> = fanins
+    // The shard unit: every non-input node with a cover, in topological
+    // order. Fanin lists are materialized up front so worker threads
+    // can borrow the items without touching `work`'s internals.
+    let items: Vec<(SignalId, Vec<SignalId>)> = work
+        .topo_order()
+        .into_iter()
+        .filter(|&sig| !work.is_input(sig))
+        .filter_map(|sig| work.node(sig).map(|(fanins, _)| (sig, fanins.to_vec())))
+        .collect();
+    let jobs = effective_jobs(params.jobs).min(items.len().max(1));
+    let artifacts: Vec<NodeArtifact> = if jobs > 1 {
+        decompose_sharded(&work, &items, params, jobs)?
+    } else {
+        items
             .iter()
-            .map(|&f| mgr.new_var(work.signal_name(f)))
-            .collect();
-        let edge = {
-            let _span = bds_trace::span!("flow.build", node = sig.index());
-            work.local_bdd(sig, &mut mgr, &vars)?
-        };
-        ops.merge(&mgr.op_stats());
-        let (mut mgr, edges) = {
-            let _span = bds_trace::span!("flow.reorder");
-            sift(&mgr, &[edge], params.sift).map_err(NetworkError::Bdd)?
-        };
-        let edge = edges[0];
-        peak = peak.max(mgr.arena_size());
-
-        let mut forest = FactorForest::new();
-        let mut dec = Decomposer::new();
-        let root = {
-            let _span = bds_trace::span!("flow.decompose", node = sig.index());
-            dec.decompose(&mut mgr, edge, &mut forest, &params.decompose)
-                .map_err(NetworkError::Bdd)?
-        };
-        stats.merge(dec.stats);
-        ops.merge(&mgr.op_stats());
-        if bds_trace::is_enabled() {
-            let table = mgr.table_stats();
-            peak_unique = peak_unique.max(table.unique_entries);
-            peak_computed = peak_computed.max(table.computed_entries);
-        }
+            .map(|(sig, fanins)| decompose_supernode(&work, *sig, fanins, params))
+            .collect::<Result<_, _>>()?
+    };
+    for ((sig, fanins), artifact) in items.iter().zip(artifacts) {
+        let sig = *sig;
+        stats.merge(artifact.stats);
+        ops.merge(&artifact.ops);
+        peak = peak.max(artifact.peak);
+        peak_unique = peak_unique.max(artifact.peak_unique);
+        peak_computed = peak_computed.max(artifact.peak_computed);
 
         let _sharing_span = bds_trace::span!("flow.sharing");
         let mut var_signals: Vec<SignalId> = Vec::with_capacity(fanins.len());
-        for f in &fanins {
+        for f in fanins {
             let mapped = map[f.index()].ok_or_else(|| NetworkError::Inconsistent {
                 detail: format!(
                     "fanin `{}` not emitted before `{}`",
@@ -354,7 +587,13 @@ pub fn optimize_partitioned(
             })?;
             var_signals.push(mapped);
         }
-        let emitted = emit_forest(&mut out, &forest, &[root], &var_signals, "bds")?;
+        let emitted = emit_forest(
+            &mut out,
+            &artifact.forest,
+            &[artifact.root],
+            &var_signals,
+            "bds",
+        )?;
         let named = alias(&mut out, emitted[0], work.signal_name(sig))?;
         map[sig.index()] = Some(named);
     }

@@ -99,7 +99,7 @@ pub fn main() -> ExitCode {
     for (name, dparams) in variants() {
         let params = FlowParams {
             decompose: dparams,
-            ..FlowParams::default()
+            ..args.flow_params()
         };
         let mut area = 0.0;
         let mut gates = 0usize;
@@ -147,7 +147,7 @@ pub fn main() -> ExitCode {
     println!("XNOR hurts parity/adders; shannon-only inflates everything; the flat");
     println!("comparison mostly protects small control nodes.");
     if let Some(path) = &args.json {
-        let doc = envelope("ablation", entries);
+        let doc = envelope("ablation", args.effective_jobs(), entries);
         if let Err(err) = write_json(path, &doc) {
             eprintln!("ablation: cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;

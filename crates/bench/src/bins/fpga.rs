@@ -10,7 +10,7 @@
 
 use std::process::ExitCode;
 
-use bds::flow::{optimize, FlowParams};
+use bds::flow::optimize;
 use bds::sis_flow::{script_rugged, SisParams};
 use bds_circuits::adder::ripple_adder;
 use bds_circuits::alu::alu;
@@ -34,6 +34,7 @@ pub fn main() -> ExitCode {
         Ok(args) => args,
         Err(code) => return code,
     };
+    let flow = args.flow_params();
     let suite: Vec<(&str, Network)> = vec![
         ("parity16", parity_tree(16)),
         ("add12", ripple_adder(12)),
@@ -65,7 +66,7 @@ pub fn main() -> ExitCode {
         let mut ratios = Vec::new();
         for (name, net) in &suite {
             let (sis_net, _) = script_rugged(net, &SisParams::default()).expect("baseline");
-            let (bds_net, _) = optimize(net, &FlowParams::default()).expect("bds");
+            let (bds_net, _) = optimize(net, &flow).expect("bds");
             let s = map_network_luts(&sis_net, k).expect("lut map");
             let b = map_network_luts(&bds_net, k).expect("lut map");
             let ratio = b.luts as f64 / s.luts as f64;
@@ -90,7 +91,7 @@ pub fn main() -> ExitCode {
         );
     }
     if let Some(path) = &args.json {
-        let doc = envelope("fpga", entries);
+        let doc = envelope("fpga", args.effective_jobs(), entries);
         if let Err(err) = write_json(path, &doc) {
             eprintln!("fpga: cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;

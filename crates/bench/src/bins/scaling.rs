@@ -24,12 +24,12 @@ use bds_trace::Stopwatch;
 
 use crate::report::{envelope, parse_args, write_json};
 
-fn time_flows(net: &Network) -> (f64, f64) {
+fn time_flows(net: &Network, flow: &FlowParams) -> (f64, f64) {
     let t0 = Stopwatch::start();
     let _ = script_rugged(net, &SisParams::default()).expect("baseline");
     let sis = t0.seconds();
     let t1 = Stopwatch::start();
-    let _ = optimize(net, &FlowParams::default()).expect("bds");
+    let _ = optimize(net, flow).expect("bds");
     let bds = t1.seconds();
     (sis, bds)
 }
@@ -43,6 +43,7 @@ pub fn main() -> ExitCode {
         Ok(args) => args,
         Err(code) => return code,
     };
+    let flow = args.flow_params();
     let max_nodes: usize = std::env::var("BDS_SCALING_MAX_NODES")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -66,7 +67,7 @@ pub fn main() -> ExitCode {
                 eprintln!("skipping {name}{size} ({nodes} nodes > cap)");
                 continue;
             }
-            let (sis, bds) = time_flows(&net);
+            let (sis, bds) = time_flows(&net, &flow);
             let speedup = sis / bds.max(1e-9);
             println!("{name},{size},{nodes},{sis:.4},{bds:.4},{speedup:.2}");
             entries.push(Json::Obj(vec![
@@ -81,7 +82,7 @@ pub fn main() -> ExitCode {
         }
     }
     if let Some(path) = &args.json {
-        let doc = envelope("scaling", entries);
+        let doc = envelope("scaling", args.effective_jobs(), entries);
         if let Err(err) = write_json(path, &doc) {
             eprintln!("scaling: cannot write {}: {err}", path.display());
             return ExitCode::FAILURE;

@@ -20,7 +20,6 @@
 use std::path::Path;
 use std::process::ExitCode;
 
-use bds::flow::FlowParams;
 use bds::sis_flow::SisParams;
 use bds_circuits::adder::{carry_select_adder, ripple_adder};
 use bds_circuits::comparator::comparator;
@@ -145,7 +144,7 @@ pub fn main() -> ExitCode {
         },
         None => None,
     };
-    let flow = FlowParams::default();
+    let flow = args.flow_params();
     let sis = SisParams::default();
     let run = |name: String, net: &Network| run_both(name, "-", net, &flow, &sis);
 
@@ -210,7 +209,11 @@ pub fn main() -> ExitCode {
     // tracked metric moving past its allowance fails the run, so CI and
     // scripts can rely on the exit code, not just the printed diff.
     if let Some(doc) = &baseline_doc {
-        let fresh = envelope("summary", rows.iter().map(row_json).collect());
+        let fresh = envelope(
+            "summary",
+            args.effective_jobs(),
+            rows.iter().map(row_json).collect(),
+        );
         match compare_reports(doc, &fresh, &Thresholds::default()) {
             Ok(outcome) => {
                 print!("{}", outcome.render());

@@ -11,7 +11,6 @@
 
 use std::process::ExitCode;
 
-use bds::flow::FlowParams;
 use bds::sis_flow::SisParams;
 use bds_circuits::adder::carry_select_adder;
 use bds_circuits::alu::alu;
@@ -70,7 +69,7 @@ pub fn main() -> ExitCode {
     // an optimized table run is `cargo run --release --bin table1`.
     let fast = std::env::var("BDS_TABLE1_FAST").is_ok()
         || (cfg!(debug_assertions) && std::env::var("BDS_TABLE1_FULL").is_err());
-    let flow = FlowParams::default();
+    let flow = args.flow_params();
     let sis = SisParams::default();
     let rows: Vec<Row> = workloads(fast)
         .into_iter()

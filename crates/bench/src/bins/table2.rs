@@ -17,7 +17,6 @@
 
 use std::process::ExitCode;
 
-use bds::flow::FlowParams;
 use bds::sis_flow::SisParams;
 use bds_circuits::multiplier::multiplier;
 use bds_circuits::shifter::barrel_shifter;
@@ -47,7 +46,7 @@ pub fn main() -> ExitCode {
     };
     let shift_max = env_usize("BDS_TABLE2_SHIFT_MAX", shift_default);
     let mult_max = env_usize("BDS_TABLE2_MULT_MAX", mult_default);
-    let flow = FlowParams::default();
+    let flow = args.flow_params();
     let sis = SisParams::default();
 
     let mut rows: Vec<Row> = Vec::new();

@@ -45,6 +45,32 @@ pub struct BenchArgs {
     /// Write folded flamegraph stacks of the per-circuit span trees here
     /// (feed to `flamegraph.pl` or speedscope).
     pub folded: Option<PathBuf>,
+    /// Worker threads for the BDS flow (`--jobs N`; `0` = one per
+    /// core). `None` keeps [`bds::flow::FlowParams`]'s default, which
+    /// honors the `BDS_FLOW_JOBS` environment variable.
+    pub jobs: Option<usize>,
+}
+
+impl BenchArgs {
+    /// Flow parameters with the `--jobs` flag applied on top of the
+    /// defaults. Sharding is a pure scheduling choice, so every
+    /// structural number in a report is identical across `--jobs`
+    /// settings — only wall-clock fields may move.
+    #[must_use]
+    pub fn flow_params(&self) -> bds::flow::FlowParams {
+        let mut params = bds::flow::FlowParams::default();
+        if let Some(jobs) = self.jobs {
+            params.jobs = jobs;
+        }
+        params
+    }
+
+    /// The worker count reports should record: the `--jobs` flag, else
+    /// the flow default (env-controlled).
+    #[must_use]
+    pub fn effective_jobs(&self) -> usize {
+        self.flow_params().jobs
+    }
 }
 
 /// Parses `std::env::args` for a bench binary.
@@ -74,6 +100,10 @@ pub fn parse_args(bench: &str, accept_compare: bool) -> Result<BenchArgs, ExitCo
                 Some(path) => out.folded = Some(PathBuf::from(path)),
                 None => return Err(usage(bench, accept_compare, "--folded needs a path")),
             },
+            "--jobs" => match args.next().and_then(|v| v.trim().parse().ok()) {
+                Some(jobs) => out.jobs = Some(jobs),
+                None => return Err(usage(bench, accept_compare, "--jobs needs a count")),
+            },
             other => {
                 return Err(usage(
                     bench,
@@ -94,18 +124,22 @@ fn usage(bench: &str, accept_compare: bool, problem: &str) -> ExitCode {
         ""
     };
     eprintln!(
-        "usage: {bench} [--json <path>] [--trace-tree] [--perfetto <path>] [--folded <path>]{compare}"
+        "usage: {bench} [--json <path>] [--jobs <n>] [--trace-tree] [--perfetto <path>] \
+         [--folded <path>]{compare}"
     );
     ExitCode::from(2)
 }
 
-/// Wraps per-circuit entries in the common report envelope.
+/// Wraps per-circuit entries in the common report envelope. `jobs`
+/// records the flow worker count the run used, so scaling studies can
+/// line up reports from `--jobs 1/2/4` by reading their envelopes.
 #[must_use]
-pub fn envelope(bench: &str, circuits: Vec<Json>) -> Json {
+pub fn envelope(bench: &str, jobs: usize, circuits: Vec<Json>) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::Str("bds-trace-report/v1".into())),
         ("bench".into(), Json::Str(bench.into())),
         ("trace_enabled".into(), Json::Bool(bds_trace::is_enabled())),
+        ("jobs".into(), Json::Int(jobs as u64)),
         ("circuits".into(), Json::Arr(circuits)),
     ])
 }
@@ -187,7 +221,11 @@ pub fn finish_rows(args: &BenchArgs, bench: &str, rows: &[Row]) -> Result<(), Ex
         }
     }
     if let Some(path) = &args.json {
-        let doc = envelope(bench, rows.iter().map(row_json).collect());
+        let doc = envelope(
+            bench,
+            args.effective_jobs(),
+            rows.iter().map(row_json).collect(),
+        );
         if let Err(err) = write_json(path, &doc) {
             eprintln!("{bench}: cannot write {}: {err}", path.display());
             return Err(ExitCode::FAILURE);
@@ -254,6 +292,7 @@ mod tests {
     fn envelope_round_trips_through_parser() {
         let doc = envelope(
             "demo",
+            4,
             vec![Json::Obj(vec![("name".into(), Json::Str("x".into()))])],
         );
         let text = doc.render();
@@ -277,7 +316,7 @@ mod tests {
         let dir = std::env::temp_dir().join("bds-report-test");
         let path = dir.join("nested/out.json");
         let _ = std::fs::remove_dir_all(&dir);
-        write_json(&path, &envelope("t", Vec::new())).expect("writes");
+        write_json(&path, &envelope("t", 1, Vec::new())).expect("writes");
         let text = std::fs::read_to_string(&path).expect("readable");
         assert!(parse(&text).is_ok());
         let _ = std::fs::remove_dir_all(&dir);

@@ -148,6 +148,23 @@ impl Journal {
         self.dropped += other.dropped;
         self.capacity = self.capacity.max(other.capacity);
     }
+
+    /// Interleaves another journal's events into this one by timestamp.
+    ///
+    /// Each thread's journal clock starts at its own epoch (first use on
+    /// that thread), so cross-thread timestamps are only approximately
+    /// comparable; what this merge guarantees is that the result is
+    /// globally sorted by `ts_ns` **and** that each thread's events keep
+    /// their relative order (per-thread timestamps are monotonic, and
+    /// the sort is stable). That is exactly what the Perfetto exporter
+    /// needs: `B`/`E` records stay balanced per thread-track no matter
+    /// how worker timelines interleave.
+    pub fn merge_by_time(&mut self, other: Journal) {
+        self.events.extend(other.events);
+        self.dropped += other.dropped;
+        self.capacity = self.capacity.max(other.capacity);
+        self.events.sort_by_key(|e| e.ts_ns);
+    }
 }
 
 struct Ring {
@@ -247,6 +264,30 @@ pub fn take_journal() -> Journal {
     })
 }
 
+/// Re-injects a drained worker [`Journal`] into **this thread's** ring,
+/// preserving each event's original thread id and timestamp (the ring's
+/// own clock and thread id are not re-stamped). The ring's capacity
+/// still applies: absorbed events evict the oldest entries when the ring
+/// is full, and `other.dropped` carries over. The sharded flow uses this
+/// so a single [`take_journal`] on the coordinating thread yields the
+/// complete multi-thread flight recording.
+pub fn absorb_journal(other: Journal) {
+    with(|r| {
+        r.dropped += other.dropped;
+        for event in other.events {
+            if r.capacity == 0 {
+                r.dropped += 1;
+                continue;
+            }
+            while r.events.len() >= r.capacity {
+                r.events.pop_front();
+                r.dropped += 1;
+            }
+            r.events.push_back(event);
+        }
+    });
+}
+
 /// Clears this thread's journal without returning it. The epoch and
 /// capacity are preserved so timestamps stay globally ordered.
 pub fn clear_journal() {
@@ -335,6 +376,82 @@ mod tests {
             FieldValue::from(String::from("t")),
             FieldValue::Str("t".into())
         );
+    }
+
+    #[test]
+    fn merge_by_time_orders_across_thread_epochs() {
+        clear_journal();
+        record_event("main.first", Vec::new());
+        record_event("main.second", Vec::new());
+        let mut main = take_journal();
+        let worker = std::thread::spawn(|| {
+            record_event("worker.first", Vec::new());
+            record_event("worker.second", Vec::new());
+            take_journal()
+        })
+        .join()
+        .expect("worker panicked");
+        let worker_thread = worker.events[0].thread;
+        assert_ne!(worker_thread, main.events[0].thread);
+        main.merge_by_time(worker);
+        assert_eq!(main.events.len(), 4);
+        // Globally sorted by timestamp…
+        assert!(main.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        // …and each thread's events keep their relative order.
+        let worker_names: Vec<&str> = main
+            .events
+            .iter()
+            .filter(|e| e.thread == worker_thread)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(worker_names, vec!["worker.first", "worker.second"]);
+        let main_names: Vec<&str> = main
+            .events
+            .iter()
+            .filter(|e| e.thread != worker_thread)
+            .map(|e| e.name)
+            .collect();
+        assert_eq!(main_names, vec!["main.first", "main.second"]);
+    }
+
+    #[test]
+    fn absorb_preserves_thread_ids_and_counts_drops() {
+        clear_journal();
+        let worker = std::thread::spawn(|| {
+            record_event("remote", vec![("i", FieldValue::U64(7))]);
+            take_journal()
+        })
+        .join()
+        .expect("worker panicked");
+        let remote_thread = worker.events[0].thread;
+        record_event("local", Vec::new());
+        absorb_journal(worker);
+        let j = take_journal();
+        assert_eq!(j.events.len(), 2);
+        assert_eq!(j.events[0].name, "local");
+        assert_eq!(j.events[1].name, "remote");
+        assert_eq!(j.events[1].thread, remote_thread);
+        assert_ne!(j.events[0].thread, remote_thread);
+
+        // Absorbing into a full ring evicts the oldest and counts drops.
+        set_journal_capacity(1);
+        record_event("old", Vec::new());
+        absorb_journal(Journal {
+            events: vec![Event {
+                ts_ns: 0,
+                thread: remote_thread,
+                kind: EventKind::Instant,
+                name: "new",
+                fields: Vec::new(),
+            }],
+            dropped: 2,
+            capacity: 1,
+        });
+        let j = take_journal();
+        assert_eq!(j.events.len(), 1);
+        assert_eq!(j.events[0].name, "new");
+        assert_eq!(j.dropped, 3);
+        set_journal_capacity(DEFAULT_JOURNAL_CAPACITY);
     }
 
     #[test]

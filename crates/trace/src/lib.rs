@@ -35,17 +35,28 @@
 //! to `bds-trace/enabled`, so a default build pays nothing on its hot
 //! paths.
 //!
-//! # Thread locality
+//! # Thread locality and the parallel drain protocol
 //!
 //! The registry and the journal are **thread-local**: each thread
 //! accumulates into its own instance, so the hot path takes no locks and
 //! parallel tests cannot contaminate each other. The flip side is that
 //! [`take_snapshot`] and [`take_journal`] only see the calling thread's
 //! data — metrics recorded on sibling threads are **silently absent**
-//! from the result, not merged. Today's flow and bench harness are
-//! single-threaded, so in practice "thread-local" means "process-local";
-//! any future parallel phase must drain its workers' snapshots on the
-//! worker threads and merge them explicitly.
+//! from the result, not merged. Parallel phases (the sharded BDS flow's
+//! worker threads) bridge the gap with the explicit drain/merge API:
+//!
+//! 1. each worker drains its own thread with [`take_snapshot`] /
+//!    [`drain_into`] and [`take_journal`] before it exits,
+//! 2. the coordinating thread folds the results back — in a **fixed
+//!    worker order**, so the merged output is deterministic regardless
+//!    of completion order — with [`Snapshot::merge`] /
+//!    [`Journal::merge_by_time`], or re-injects them into its own live
+//!    registry and ring with [`absorb_snapshot`] / [`absorb_journal`]
+//!    (worker spans graft under the coordinator's open span; journal
+//!    events keep their original thread ids and timestamps).
+//!
+//! Counters sum, gauges keep the maximum (every gauge here is a peak),
+//! histograms add bucket-wise, and span trees merge by `(parent, name)`.
 //!
 //! # Example
 //!
@@ -78,12 +89,12 @@ mod registry;
 mod span;
 
 pub use journal::{
-    clear_journal, journal_len, record_event, set_journal_capacity, take_journal, Event, EventKind,
-    FieldValue, Journal, DEFAULT_JOURNAL_CAPACITY,
+    absorb_journal, clear_journal, journal_len, record_event, set_journal_capacity, take_journal,
+    Event, EventKind, FieldValue, Journal, DEFAULT_JOURNAL_CAPACITY,
 };
 pub use registry::{
-    add_counter, counter_value, record_histogram, set_gauge, span_depth, take_snapshot,
-    take_snapshot_in_flight, Histogram, Snapshot, SpanSnap,
+    absorb_snapshot, add_counter, counter_value, drain_into, record_histogram, set_gauge,
+    span_depth, take_snapshot, take_snapshot_in_flight, Histogram, Snapshot, SpanSnap,
 };
 pub use span::{fmt_duration_ns, span_enter, NoopSpan, SpanGuard, Stopwatch};
 

@@ -2,8 +2,15 @@
 //!
 //! Each thread owns an independent registry, so parallel tests cannot
 //! contaminate each other's numbers and no locking sits on the hot path.
-//! The bench harness is single-threaded, so in practice "thread-local"
-//! means "process-local".
+//! Parallel phases (the sharded flow, worker pools) bridge the gap
+//! explicitly: each worker drains its own registry with [`take_snapshot`]
+//! (or [`drain_into`]) before exiting, and the coordinating thread folds
+//! the results back with [`Snapshot::merge`] or re-injects them into its
+//! live registry with [`absorb_snapshot`] — counters sum, gauges keep the
+//! maximum (every gauge in this workspace is a peak), histograms add
+//! bucket-wise, and span trees merge recursively by `(parent, name)`.
+//! Merging in a fixed worker order keeps the result deterministic
+//! regardless of thread scheduling.
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -79,6 +86,19 @@ impl Histogram {
             }
         }
         0
+    }
+
+    /// Adds `other`'s observations into `self`: buckets add element-wise,
+    /// `count` adds, `sum` saturates. Merging is commutative and
+    /// associative, so folding worker histograms in any order yields the
+    /// same result (determinism is still achieved by merging in a fixed
+    /// worker order, which also fixes name ordering elsewhere).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Estimated `q`-quantile (`q` in `[0, 1]`), or 0.0 when empty.
@@ -168,6 +188,37 @@ impl Snapshot {
             && self.gauges.is_empty()
             && self.histograms.is_empty()
             && self.spans.is_empty()
+    }
+
+    /// Folds `other` into `self`, the cross-thread aggregation used by
+    /// the sharded flow: counters **sum** by name, gauges keep the
+    /// **maximum** (all registry gauges are peaks), histograms merge
+    /// bucket-wise, and span trees merge recursively by `(parent, name)`
+    /// — calls and nanoseconds add, children in `self`'s order with
+    /// `other`'s new names appended in their own order. Merging worker
+    /// snapshots in a fixed (worker-index) order therefore produces one
+    /// deterministic snapshot regardless of thread completion order.
+    pub fn merge(&mut self, other: &Snapshot) {
+        let mut counters: BTreeMap<String, u64> = self.counters.drain(..).collect();
+        for (name, v) in &other.counters {
+            *counters.entry(name.clone()).or_insert(0) += v;
+        }
+        self.counters = counters.into_iter().collect();
+
+        let mut gauges: BTreeMap<String, u64> = self.gauges.drain(..).collect();
+        for (name, v) in &other.gauges {
+            let slot = gauges.entry(name.clone()).or_insert(0);
+            *slot = (*slot).max(*v);
+        }
+        self.gauges = gauges.into_iter().collect();
+
+        let mut histograms: BTreeMap<String, Histogram> = self.histograms.drain(..).collect();
+        for (name, h) in &other.histograms {
+            histograms.entry(name.clone()).or_default().merge(h);
+        }
+        self.histograms = histograms.into_iter().collect();
+
+        merge_span_lists(&mut self.spans, &other.spans);
     }
 
     /// Renders the snapshot as an indented human-readable tree.
@@ -288,6 +339,21 @@ impl Snapshot {
     }
 }
 
+/// Merges `src` span trees into `dst`: same-named siblings combine
+/// (calls and nanoseconds add, children merge recursively), new names
+/// append in `src` order.
+fn merge_span_lists(dst: &mut Vec<SpanSnap>, src: &[SpanSnap]) {
+    for s in src {
+        if let Some(d) = dst.iter_mut().find(|d| d.name == s.name) {
+            d.calls += s.calls;
+            d.total_ns = d.total_ns.saturating_add(s.total_ns);
+            merge_span_lists(&mut d.children, &s.children);
+        } else {
+            dst.push(s.clone());
+        }
+    }
+}
+
 fn render_span(s: &SpanSnap, depth: usize, out: &mut String) {
     let indent = "  ".repeat(depth);
     let calls = if s.calls == 1 {
@@ -336,9 +402,11 @@ fn span_from_json(j: &Json) -> Option<SpanSnap> {
     Some(s)
 }
 
-/// Live span node: index-linked tree in a flat arena.
+/// Live span node: index-linked tree in a flat arena. Names are owned
+/// strings so absorbed worker snapshots (whose names arrive as `String`)
+/// and macro call sites (`&'static str`) share one arena.
 struct SpanNode {
-    name: &'static str,
+    name: String,
     calls: u64,
     total_ns: u64,
     children: Vec<usize>,
@@ -346,52 +414,71 @@ struct SpanNode {
 
 #[derive(Default)]
 struct Registry {
-    counters: BTreeMap<&'static str, u64>,
-    gauges: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
     arena: Vec<SpanNode>,
     roots: Vec<usize>,
     stack: Vec<usize>,
 }
 
 impl Registry {
-    /// Finds or creates the child span `name` under the current stack
-    /// top (or the root set), and makes it the new top.
-    fn enter(&mut self, name: &'static str) -> usize {
-        let siblings: &[usize] = match self.stack.last() {
-            Some(&parent) => &self.arena[parent].children,
+    /// Finds or creates the span node `name` under `parent` (or the root
+    /// set) without touching the stack. Shared by `enter` and the
+    /// snapshot absorber.
+    fn node_under(&mut self, parent: Option<usize>, name: &str) -> usize {
+        let siblings: &[usize] = match parent {
+            Some(p) => &self.arena[p].children,
             None => &self.roots,
         };
         let found = siblings
             .iter()
             .copied()
             .find(|&i| self.arena[i].name == name);
-        let idx = match found {
+        match found {
             Some(i) => i,
             None => {
                 let i = self.arena.len();
                 self.arena.push(SpanNode {
-                    name,
+                    name: name.to_string(),
                     calls: 0,
                     total_ns: 0,
                     children: Vec::new(),
                 });
-                match self.stack.last() {
-                    Some(&parent) => self.arena[parent].children.push(i),
+                match parent {
+                    Some(p) => self.arena[p].children.push(i),
                     None => self.roots.push(i),
                 }
                 i
             }
-        };
+        }
+    }
+
+    /// Finds or creates the child span `name` under the current stack
+    /// top (or the root set), and makes it the new top.
+    fn enter(&mut self, name: &str) -> usize {
+        let idx = self.node_under(self.stack.last().copied(), name);
         self.stack.push(idx);
         idx
+    }
+
+    /// Merges a snapshot span tree under `parent` (the innermost open
+    /// span during [`absorb_snapshot`]): calls and nanoseconds add,
+    /// children recurse.
+    fn absorb_span(&mut self, parent: Option<usize>, snap: &SpanSnap) {
+        let idx = self.node_under(parent, &snap.name);
+        self.arena[idx].calls += snap.calls;
+        self.arena[idx].total_ns = self.arena[idx].total_ns.saturating_add(snap.total_ns);
+        for child in &snap.children {
+            self.absorb_span(Some(idx), child);
+        }
     }
 
     /// Records a completed span. Normally the guard being dropped sits on
     /// top of the stack; if snapshots or resets disturbed the stack we
     /// recover by matching the nearest enclosing span of the same name,
     /// or re-entering it, so drops never panic and nesting stays balanced.
-    fn exit(&mut self, name: &'static str, ns: u64) {
+    fn exit(&mut self, name: &str, ns: u64) {
         let idx = match self.stack.iter().rposition(|&i| self.arena[i].name == name) {
             Some(pos) => {
                 let idx = self.stack[pos];
@@ -411,7 +498,7 @@ impl Registry {
     fn snapshot_span(&self, idx: usize) -> SpanSnap {
         let node = &self.arena[idx];
         SpanSnap {
-            name: node.name.to_string(),
+            name: node.name.clone(),
             calls: node.calls,
             total_ns: node.total_ns,
             children: node
@@ -424,20 +511,12 @@ impl Registry {
 
     fn snapshot(&self) -> Snapshot {
         Snapshot {
-            counters: self
-                .counters
-                .iter()
-                .map(|(&n, &v)| (n.to_string(), v))
-                .collect(),
-            gauges: self
-                .gauges
-                .iter()
-                .map(|(&n, &v)| (n.to_string(), v))
-                .collect(),
+            counters: self.counters.iter().map(|(n, &v)| (n.clone(), v)).collect(),
+            gauges: self.gauges.iter().map(|(n, &v)| (n.clone(), v)).collect(),
             histograms: self
                 .histograms
                 .iter()
-                .map(|(&n, &h)| (n.to_string(), h))
+                .map(|(n, &h)| (n.clone(), h))
                 .collect(),
             spans: self.roots.iter().map(|&i| self.snapshot_span(i)).collect(),
         }
@@ -454,19 +533,38 @@ fn with<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
 
 /// Adds `by` to the named monotonic counter, creating it at zero first.
 pub fn add_counter(name: &'static str, by: u64) {
-    with(|r| *r.counters.entry(name).or_insert(0) += by);
+    with(|r| {
+        // Fast path avoids allocating the key on every increment.
+        if let Some(v) = r.counters.get_mut(name) {
+            *v += by;
+        } else {
+            r.counters.insert(name.to_string(), by);
+        }
+    });
 }
 
 /// Sets the named gauge to `value` (last write wins).
 pub fn set_gauge(name: &'static str, value: u64) {
     with(|r| {
-        r.gauges.insert(name, value);
+        if let Some(v) = r.gauges.get_mut(name) {
+            *v = value;
+        } else {
+            r.gauges.insert(name.to_string(), value);
+        }
     });
 }
 
 /// Records one observation into the named histogram.
 pub fn record_histogram(name: &'static str, value: u64) {
-    with(|r| r.histograms.entry(name).or_default().record(value));
+    with(|r| {
+        if let Some(h) = r.histograms.get_mut(name) {
+            h.record(value);
+        } else {
+            let mut h = Histogram::default();
+            h.record(value);
+            r.histograms.insert(name.to_string(), h);
+        }
+    });
 }
 
 /// Current value of a counter (0 if never incremented). Mainly for tests.
@@ -532,13 +630,62 @@ pub fn take_snapshot() -> Snapshot {
 pub fn take_snapshot_in_flight() -> Snapshot {
     with(|r| {
         let snap = r.snapshot();
-        let chain: Vec<&'static str> = r.stack.iter().map(|&i| r.arena[i].name).collect();
+        let chain: Vec<String> = r.stack.iter().map(|&i| r.arena[i].name.clone()).collect();
         *r = Registry::default();
         for name in chain {
-            r.enter(name);
+            r.enter(&name);
         }
         snap
     })
+}
+
+/// Drains this thread's registry and folds it into `target` via
+/// [`Snapshot::merge`]. This is the worker-side half of the parallel
+/// drain protocol: a worker thread calls `drain_into` (or
+/// [`take_snapshot`]) before exiting, and the coordinator merges or
+/// [`absorb_snapshot`]s the result in a deterministic worker order.
+/// Debug builds assert all span guards are dropped, as in
+/// [`take_snapshot`].
+pub fn drain_into(target: &mut Snapshot) {
+    target.merge(&take_snapshot());
+}
+
+/// Folds a detached [`Snapshot`] into **this thread's live registry**:
+/// counters add, gauges keep the maximum, histograms merge, and the
+/// snapshot's span roots graft under the innermost span currently open
+/// on this thread (or become roots when none is open). This is how the
+/// sharded flow stitches worker metrics back so a later
+/// [`take_snapshot`] on the coordinating thread sees one combined tree,
+/// with worker phase spans nested under the coordinator's flow span
+/// exactly as in a sequential run.
+pub fn absorb_snapshot(snap: &Snapshot) {
+    with(|r| {
+        for (name, v) in &snap.counters {
+            if let Some(slot) = r.counters.get_mut(name) {
+                *slot += v;
+            } else {
+                r.counters.insert(name.clone(), *v);
+            }
+        }
+        for (name, v) in &snap.gauges {
+            if let Some(slot) = r.gauges.get_mut(name) {
+                *slot = (*slot).max(*v);
+            } else {
+                r.gauges.insert(name.clone(), *v);
+            }
+        }
+        for (name, h) in &snap.histograms {
+            if let Some(slot) = r.histograms.get_mut(name) {
+                slot.merge(h);
+            } else {
+                r.histograms.insert(name.clone(), *h);
+            }
+        }
+        let parent = r.stack.last().copied();
+        for s in &snap.spans {
+            r.absorb_span(parent, s);
+        }
+    });
 }
 
 /// Internal hook for `SpanGuard`.
@@ -652,6 +799,132 @@ mod tests {
         assert_eq!(snap.gauge("g"), Some(9));
         assert_eq!(snap.histograms[0].1.count, 1);
         assert!(take_snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_maxes_gauges() {
+        let mut a = Snapshot {
+            counters: vec![("x".into(), 2), ("y".into(), 1)],
+            gauges: vec![("peak".into(), 10)],
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            counters: vec![("x".into(), 3), ("z".into(), 7)],
+            gauges: vec![("peak".into(), 4), ("other".into(), 9)],
+            ..Snapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.counter("x"), Some(5));
+        assert_eq!(a.counter("y"), Some(1));
+        assert_eq!(a.counter("z"), Some(7));
+        assert_eq!(a.gauge("peak"), Some(10));
+        assert_eq!(a.gauge("other"), Some(9));
+        // Names stay sorted so merged reports render deterministically.
+        let names: Vec<&str> = a.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn histogram_merge_adds_buckets_counts_and_sums() {
+        let mut a = Histogram::default();
+        a.record(0);
+        a.record(5);
+        let mut b = Histogram::default();
+        b.record(5);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 1010);
+        assert_eq!(a.buckets[0], 1);
+        assert_eq!(a.buckets[Histogram::bucket_index(5)], 2);
+        assert_eq!(a.buckets[Histogram::bucket_index(1000)], 1);
+    }
+
+    #[test]
+    fn snapshot_merge_combines_span_trees_by_name() {
+        let tree = |calls| SpanSnap {
+            name: "flow.build".into(),
+            calls,
+            total_ns: 10,
+            children: vec![SpanSnap {
+                name: "inner".into(),
+                calls,
+                total_ns: 5,
+                children: Vec::new(),
+            }],
+        };
+        let mut a = Snapshot {
+            spans: vec![tree(2)],
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            spans: vec![
+                tree(3),
+                SpanSnap {
+                    name: "flow.reorder".into(),
+                    calls: 1,
+                    total_ns: 1,
+                    children: Vec::new(),
+                },
+            ],
+            ..Snapshot::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.spans.len(), 2);
+        assert_eq!(a.spans[0].calls, 5);
+        assert_eq!(a.spans[0].total_ns, 20);
+        assert_eq!(a.spans[0].children[0].calls, 5);
+        assert_eq!(a.spans[1].name, "flow.reorder");
+    }
+
+    #[test]
+    fn drain_into_collects_worker_threads() {
+        reset();
+        let mut merged = Snapshot::default();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    scope.spawn(|| {
+                        add_counter("work.items", 2);
+                        let mut out = Snapshot::default();
+                        drain_into(&mut out);
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                merged.merge(&h.join().expect("worker panicked"));
+            }
+        });
+        assert_eq!(merged.counter("work.items"), Some(6));
+        // The coordinating thread's own registry was never touched.
+        assert_eq!(counter_value("work.items"), 0);
+    }
+
+    #[test]
+    fn absorb_snapshot_grafts_under_open_span() {
+        reset();
+        let worker = Snapshot {
+            counters: vec![("w.steps".into(), 4)],
+            spans: vec![SpanSnap {
+                name: "flow.build".into(),
+                calls: 4,
+                total_ns: 40,
+                children: Vec::new(),
+            }],
+            ..Snapshot::default()
+        };
+        {
+            let _flow = crate::span_enter("flow");
+            absorb_snapshot(&worker);
+            absorb_snapshot(&worker);
+        }
+        let snap = take_snapshot();
+        assert_eq!(snap.counter("w.steps"), Some(8));
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "flow");
+        let child = &snap.spans[0].children[0];
+        assert_eq!((child.name.as_str(), child.calls), ("flow.build", 8));
     }
 
     #[test]

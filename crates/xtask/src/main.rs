@@ -34,7 +34,10 @@
 //!   (`results/BENCH_flow.json`, override with `--baseline <path>`)
 //!   through [`bds_trace::gate::compare_reports`], and exits nonzero on
 //!   any regression — structural counts are exact, wall time gets a
-//!   noise allowance. Zero matched circuits is also a failure: a gate
+//!   noise allowance. `--jobs <n>` runs the fresh `table1` with the
+//!   sharded flow; the structural comparison against the sequential
+//!   baseline stays exact because sharding is a pure scheduling change
+//!   (only wall time may differ between thread counts). Zero matched circuits is also a failure: a gate
 //!   that compares nothing protects nothing. The fresh report is left at
 //!   `target/perfgate/fresh.json` so CI can upload it as an artifact.
 //!
@@ -158,6 +161,7 @@ fn run_perfgate(args: &[String]) -> ExitCode {
     let root = workspace_root();
     let mut baseline = root.join(BASELINE_REPORT);
     let mut fresh: Option<PathBuf> = None;
+    let mut jobs: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -169,8 +173,15 @@ fn run_perfgate(args: &[String]) -> ExitCode {
                 Some(p) => fresh = Some(PathBuf::from(p)),
                 None => return perfgate_usage("--fresh needs a path"),
             },
+            "--jobs" => match it.next().and_then(|v| v.trim().parse::<usize>().ok()) {
+                Some(n) => jobs = Some(n.to_string()),
+                None => return perfgate_usage("--jobs needs a count"),
+            },
             other => return perfgate_usage(&format!("unknown flag {other}")),
         }
+    }
+    if jobs.is_some() && fresh.is_some() {
+        return perfgate_usage("--jobs only applies when perfgate runs table1 itself");
     }
 
     let fresh = match fresh {
@@ -180,23 +191,26 @@ fn run_perfgate(args: &[String]) -> ExitCode {
             // the same report the baseline was produced from.
             let out = root.join(FRESH_REPORT);
             println!(
-                "perfgate: running trace-enabled table1 -> {}",
+                "perfgate: running trace-enabled table1 (jobs={}) -> {}",
+                jobs.as_deref().unwrap_or("default"),
                 out.display()
             );
-            if !run_cargo(
-                &root,
-                &[
-                    "run",
-                    "--release",
-                    "--features",
-                    "trace",
-                    "--bin",
-                    "table1",
-                    "--",
-                    "--json",
-                    FRESH_REPORT,
-                ],
-            ) {
+            let mut cargo_args = vec![
+                "run",
+                "--release",
+                "--features",
+                "trace",
+                "--bin",
+                "table1",
+                "--",
+                "--json",
+                FRESH_REPORT,
+            ];
+            if let Some(n) = &jobs {
+                cargo_args.push("--jobs");
+                cargo_args.push(n);
+            }
+            if !run_cargo(&root, &cargo_args) {
                 eprintln!("perfgate: table1 run failed");
                 return ExitCode::FAILURE;
             }
@@ -258,7 +272,10 @@ fn load_report(path: &Path) -> Result<bds_trace::json::Json, String> {
 
 fn perfgate_usage(problem: &str) -> ExitCode {
     eprintln!("perfgate: {problem}");
-    eprintln!("usage: cargo xtask perfgate [--baseline <report.json>] [--fresh <report.json>]");
+    eprintln!(
+        "usage: cargo xtask perfgate [--baseline <report.json>] [--fresh <report.json>] \
+         [--jobs <n>]"
+    );
     ExitCode::from(2)
 }
 
