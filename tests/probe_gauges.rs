@@ -1,0 +1,55 @@
+//! Temporary review probe: compare gauges between jobs=1 and jobs=4.
+
+use bds_repro::circuits::adder::{carry_select_adder, ripple_adder};
+use bds_repro::circuits::alu::alu;
+use bds_repro::circuits::comparator::comparator;
+use bds_repro::circuits::ecc::hamming_encoder;
+use bds_repro::circuits::misc::{gray_to_bin, popcount};
+use bds_repro::circuits::multiplier::multiplier;
+use bds_repro::circuits::parity::{parity_chain, parity_tree};
+use bds_repro::circuits::shifter::barrel_shifter;
+use bds_repro::core::flow::{optimize, FlowParams};
+use bds_repro::network::Network;
+
+fn params(jobs: usize) -> FlowParams {
+    FlowParams {
+        jobs,
+        ..FlowParams::default()
+    }
+}
+
+#[test]
+fn probe_gauges_match() {
+    let suite: Vec<(String, Network)> = vec![
+        ("add8".into(), ripple_adder(8)),
+        ("csel8".into(), carry_select_adder(8, 2)),
+        ("parity12".into(), parity_tree(12)),
+        ("paritych10".into(), parity_chain(10)),
+        ("cmp8".into(), comparator(8)),
+        ("ecc16".into(), hamming_encoder(16)),
+        ("m4x4".into(), multiplier(4, 4)),
+        ("alu4".into(), alu(4)),
+        ("bshift16".into(), barrel_shifter(16)),
+        ("popcount9".into(), popcount(9)),
+        ("g2b10".into(), gray_to_bin(10)),
+    ];
+    let mut bad = Vec::new();
+    for (name, net) in suite {
+        bds_trace::reset();
+        let _ = optimize(&net, &params(1)).unwrap();
+        let seq = bds_trace::take_snapshot();
+        bds_trace::reset();
+        let _ = optimize(&net, &params(4)).unwrap();
+        let par = bds_trace::take_snapshot();
+        if seq.gauges != par.gauges {
+            bad.push(format!(
+                "{name}: seq={:?} par={:?}",
+                seq.gauges, par.gauges
+            ));
+        }
+        if seq.counters != par.counters {
+            bad.push(format!("{name}: COUNTERS diverged"));
+        }
+    }
+    assert!(bad.is_empty(), "{}", bad.join("\n"));
+}
