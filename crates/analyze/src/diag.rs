@@ -1,0 +1,205 @@
+//! Structured diagnostics and the text / JSON renderers.
+//!
+//! Every rule reports through [`Diagnostic`]; the renderers are the
+//! only places that turn diagnostics into bytes, so the CLI and the CI
+//! artifact stay schema-stable (`bds-analyze-report/v1`).
+
+use std::path::PathBuf;
+
+/// One finding, anchored to a byte span of one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (`"panic"`, `"iter-order"`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: PathBuf,
+    /// 1-based line of the span start.
+    pub line: usize,
+    /// 1-based byte column of the span start.
+    pub col: usize,
+    /// Byte range in the file (`(0, 0)` for whole-file findings).
+    pub span: (usize, usize),
+    /// What is wrong.
+    pub message: String,
+    /// How to fix or justify it (empty when self-evident).
+    pub help: String,
+}
+
+impl Diagnostic {
+    /// Sort key: path, then position, then rule.
+    #[must_use]
+    pub fn sort_key(&self) -> (String, usize, usize, &'static str) {
+        (
+            self.path.to_string_lossy().into_owned(),
+            self.line,
+            self.col,
+            self.rule,
+        )
+    }
+
+    /// One-line `path:line:col: [rule] message` rendering.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = format!(
+            "{}:{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        );
+        if !self.help.is_empty() {
+            out.push_str("\n    help: ");
+            out.push_str(&self.help);
+        }
+        out
+    }
+}
+
+/// A completed analysis run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All diagnostics, sorted by path/position/rule.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files lint rules ran over.
+    pub files_checked: usize,
+    /// Number of `Cargo.toml` manifests the feature checker parsed.
+    pub manifests_checked: usize,
+}
+
+impl Report {
+    /// True when the run found nothing.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Multi-line human rendering (one block per diagnostic plus a
+    /// trailing summary line).
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render_text());
+            out.push('\n');
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str(&format!(
+                "lint: {} files and {} manifests clean\n",
+                self.files_checked, self.manifests_checked
+            ));
+        } else {
+            out.push_str(&format!(
+                "lint: {} violation(s) in {} files / {} manifests\n",
+                self.diagnostics.len(),
+                self.files_checked,
+                self.manifests_checked
+            ));
+        }
+        out
+    }
+
+    /// Schema-stable JSON rendering (`bds-analyze-report/v1`).
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"bds-analyze-report/v1\",\n");
+        out.push_str(&format!("  \"files_checked\": {},\n", self.files_checked));
+        out.push_str(&format!(
+            "  \"manifests_checked\": {},\n",
+            self.manifests_checked
+        ));
+        out.push_str(&format!("  \"violations\": {},\n", self.diagnostics.len()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"rule\": {}, ", json_str(d.rule)));
+            out.push_str(&format!(
+                "\"path\": {}, ",
+                json_str(&d.path.to_string_lossy().replace('\\', "/"))
+            ));
+            out.push_str(&format!("\"line\": {}, \"col\": {}, ", d.line, d.col));
+            out.push_str(&format!(
+                "\"span\": {{\"start\": {}, \"end\": {}}}, ",
+                d.span.0, d.span.1
+            ));
+            out.push_str(&format!("\"message\": {}", json_str(&d.message)));
+            if !d.help.is_empty() {
+                out.push_str(&format!(", \"help\": {}", json_str(&d.help)));
+            }
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+#[must_use]
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                rule: "panic",
+                path: PathBuf::from("crates/x/src/lib.rs"),
+                line: 3,
+                col: 9,
+                span: (25, 34),
+                message: "`unwrap()` in library code".to_string(),
+                help: "justify with `// lint:allow(panic)`".to_string(),
+            }],
+            files_checked: 2,
+            manifests_checked: 1,
+        }
+    }
+
+    #[test]
+    fn text_rendering() {
+        let text = sample().render_text();
+        assert!(text.contains("crates/x/src/lib.rs:3:9: [panic] `unwrap()` in library code"));
+        assert!(text.contains("help: justify"));
+        assert!(text.contains("1 violation(s)"));
+    }
+
+    #[test]
+    fn json_rendering_is_schema_stable() {
+        let json = sample().render_json();
+        assert!(json.contains("\"schema\": \"bds-analyze-report/v1\""));
+        assert!(json.contains("\"rule\": \"panic\""));
+        assert!(json.contains("\"span\": {\"start\": 25, \"end\": 34}"));
+        assert!(json.contains("\"violations\": 1"));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+}

@@ -1,0 +1,80 @@
+//! The analysis driver: files → lexer → parser → rules → suppression →
+//! manifest checks → sorted [`Report`].
+
+use crate::diag::{Diagnostic, Report};
+use crate::features;
+use crate::files::{self, FileClass};
+use crate::lexer::{self, LineIndex, TokenKind};
+use crate::parser;
+use crate::rules::{self, FileCx, Rule};
+use crate::suppress;
+use std::path::Path;
+
+/// Analyzes one in-memory source file with the given rule set,
+/// applying the audited suppression model. `class` controls which
+/// rules apply (library rules, crate-root rules).
+#[must_use]
+pub fn analyze_source(
+    rel: &Path,
+    text: &str,
+    class: FileClass,
+    rule_set: &[Box<dyn Rule>],
+) -> Vec<Diagnostic> {
+    let tokens = lexer::lex(text);
+    let index = LineIndex::new(text);
+    let parsed = parser::parse(text, &tokens);
+    let sig: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_trivia() && tokens[i].kind != TokenKind::Whitespace)
+        .collect();
+    let cx = FileCx {
+        rel,
+        rel_s: files::rel_str(rel),
+        text,
+        tokens: &tokens,
+        sig: &sig,
+        parsed: &parsed,
+        index: &index,
+        class,
+    };
+    let mut candidates = Vec::new();
+    for rule in rule_set {
+        if rule.applies(&cx) {
+            rule.check(&cx, &mut candidates);
+        }
+    }
+    let markers = suppress::collect_markers(text, &tokens, &index);
+    suppress::apply(rel, &markers, candidates, true)
+}
+
+/// Analyzes one in-memory source file with the default rule registry,
+/// classifying it from its path (the entry point fixture tests use).
+#[must_use]
+pub fn analyze_source_default(rel: &Path, text: &str) -> Vec<Diagnostic> {
+    analyze_source(rel, text, files::classify(rel), &rules::registry())
+}
+
+/// Runs the full analysis over the workspace rooted at `root`.
+#[must_use]
+pub fn analyze_workspace(root: &Path) -> Report {
+    let ws = files::collect_workspace(root);
+    let rule_set = rules::registry();
+    let mut diagnostics = Vec::new();
+    let mut files_checked = 0usize;
+    for f in &ws.sources {
+        let Ok(text) = std::fs::read_to_string(&f.abs) else {
+            continue;
+        };
+        if f.class.library {
+            files_checked += 1;
+        }
+        diagnostics.extend(analyze_source(&f.rel, &text, f.class, &rule_set));
+    }
+    let (manifest_diags, manifests_checked) = features::check_manifests(root, &ws.manifests);
+    diagnostics.extend(manifest_diags);
+    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    Report {
+        diagnostics,
+        files_checked,
+        manifests_checked,
+    }
+}

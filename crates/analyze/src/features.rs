@@ -1,0 +1,508 @@
+//! The Cargo feature-graph checker.
+//!
+//! Parses every workspace `Cargo.toml` with a small purpose-built TOML
+//! subset reader (sections, `key = value`, dotted keys, strings,
+//! booleans, arrays — possibly multiline — and inline tables) and
+//! verifies three workspace invariants:
+//!
+//! 1. **zero external dependencies** — every `[dependencies]` /
+//!    `[dev-dependencies]` / `[build-dependencies]` /
+//!    `[workspace.dependencies]` entry resolves to a workspace path
+//!    (`x.workspace = true` or `{ path = "…" }`); anything with a
+//!    registry version or git source is a violation (`external-dep`),
+//! 2. **the `trace` feature chain** — root → `bds-bench` → `bds` →
+//!    `bds-network` → `bds-bdd` → `bds-trace/enabled` must forward
+//!    intact (`feature-chain`), and
+//! 3. **`trace` stays default-off** — no `default` feature pulls in
+//!    `trace`, and no dependency spec force-enables it
+//!    (`feature-default-off`).
+
+use crate::diag::Diagnostic;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// How a dependency is sourced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepSpec {
+    /// `x.workspace = true` or `{ workspace = true }`.
+    Workspace,
+    /// `{ path = "…" }`.
+    Path,
+    /// Anything else: registry version, git, url.
+    External(String),
+}
+
+/// One dependency entry.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// Dependency (crate) name.
+    pub name: String,
+    /// 1-based line of the entry.
+    pub line: usize,
+    /// Source classification.
+    pub spec: DepSpec,
+    /// Raw value text (for force-enabled-feature detection).
+    pub raw: String,
+}
+
+/// The parts of a manifest the checker needs.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// Manifest path (workspace-relative).
+    pub rel: PathBuf,
+    /// `[package] name`, empty for a virtual manifest.
+    pub package_name: String,
+    /// `[features]`: name → (members, line).
+    pub features: BTreeMap<String, (Vec<String>, usize)>,
+    /// All dependency entries across dep sections.
+    pub deps: Vec<Dep>,
+}
+
+/// Parses the TOML subset used by the workspace manifests.
+#[must_use]
+pub fn parse_manifest(rel: &Path, text: &str) -> Manifest {
+    let mut m = Manifest {
+        rel: rel.to_path_buf(),
+        ..Manifest::default()
+    };
+    let mut section = String::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0;
+    while i < lines.len() {
+        let line_no = i + 1;
+        let line = strip_toml_comment(lines[i]).trim().to_string();
+        i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line
+                .trim_matches(|c| c == '[' || c == ']')
+                .trim()
+                .to_string();
+            continue;
+        }
+        let Some(eq) = find_unquoted(&line, '=') else {
+            continue;
+        };
+        let key = line[..eq].trim().to_string();
+        let mut value = line[eq + 1..].trim().to_string();
+        // Multiline arrays: keep consuming lines until brackets balance.
+        while bracket_balance(&value) > 0 && i < lines.len() {
+            value.push(' ');
+            value.push_str(strip_toml_comment(lines[i]).trim());
+            i += 1;
+        }
+        record(&mut m, &section, &key, &value, line_no);
+    }
+    m
+}
+
+fn record(m: &mut Manifest, section: &str, key: &str, value: &str, line: usize) {
+    match section {
+        "package" if key == "name" => m.package_name = unquote(value),
+        "features" => {
+            m.features
+                .insert(key.to_string(), (parse_string_array(value), line));
+        }
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies" => {
+            let (name, spec) = classify_dep(key, value);
+            m.deps.push(Dep {
+                name,
+                line,
+                spec,
+                raw: value.to_string(),
+            });
+        }
+        _ => {}
+    }
+}
+
+/// Classifies one dependency entry given its (possibly dotted) key and
+/// value text.
+fn classify_dep(key: &str, value: &str) -> (String, DepSpec) {
+    if let Some(name) = key.strip_suffix(".workspace") {
+        let spec = if value.trim() == "true" {
+            DepSpec::Workspace
+        } else {
+            DepSpec::External(format!("workspace = {value}"))
+        };
+        return (name.trim().to_string(), spec);
+    }
+    if let Some(name) = key.strip_suffix(".path") {
+        return (name.trim().to_string(), DepSpec::Path);
+    }
+    let name = key.split('.').next().unwrap_or(key).trim().to_string();
+    let v = value.trim();
+    if v.starts_with('{') {
+        if contains_key(v, "workspace") {
+            return (name, DepSpec::Workspace);
+        }
+        if contains_key(v, "path") {
+            return (name, DepSpec::Path);
+        }
+        return (name, DepSpec::External(v.to_string()));
+    }
+    (name, DepSpec::External(v.to_string()))
+}
+
+/// True when an inline table contains `key =` at its top level.
+fn contains_key(inline: &str, key: &str) -> bool {
+    let inner = inline.trim_start_matches('{').trim_end_matches('}');
+    inner
+        .split(',')
+        .any(|part| part.split('=').next().is_some_and(|k| k.trim() == key))
+}
+
+fn strip_toml_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Position of `needle` outside any `"…"` string.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_str = false;
+    for (pos, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            c if c == needle && !in_str => return Some(pos),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn bracket_balance(s: &str) -> i32 {
+    let mut bal = 0;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => bal += 1,
+            ']' if !in_str => bal -= 1,
+            _ => {}
+        }
+    }
+    bal
+}
+
+fn unquote(s: &str) -> String {
+    s.trim().trim_matches('"').to_string()
+}
+
+/// Extracts the string elements of a TOML array value.
+fn parse_string_array(value: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = value;
+    while let Some(start) = rest.find('"') {
+        let Some(len) = rest[start + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[start + 1..start + 1 + len].to_string());
+        rest = &rest[start + 1 + len + 1..];
+    }
+    out
+}
+
+/// The required `trace` forwarding chain:
+/// `(package, feature, required member)`.
+const TRACE_CHAIN: [(&str, &str, &str); 5] = [
+    ("bds-repro", "trace", "bds-bench/trace"),
+    ("bds-bench", "trace", "bds/trace"),
+    ("bds", "trace", "bds-network/trace"),
+    ("bds-network", "trace", "bds-bdd/trace"),
+    ("bds-bdd", "trace", "bds-trace/enabled"),
+];
+
+/// Runs all manifest checks. Returns the diagnostics and the number of
+/// manifests parsed.
+#[must_use]
+pub fn check_manifests(root: &Path, manifest_paths: &[PathBuf]) -> (Vec<Diagnostic>, usize) {
+    let mut manifests = Vec::new();
+    for path in manifest_paths {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path);
+        manifests.push(parse_manifest(rel, &text));
+    }
+    (check_parsed(&manifests), manifests.len())
+}
+
+/// Checks already-parsed manifests (unit-testable without a
+/// filesystem).
+#[must_use]
+pub fn check_parsed(manifests: &[Manifest]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // 1. Zero external dependencies.
+    for m in manifests {
+        for dep in &m.deps {
+            if let DepSpec::External(detail) = &dep.spec {
+                out.push(manifest_diag(
+                    m,
+                    dep.line,
+                    "external-dep",
+                    format!(
+                        "dependency `{}` is not a workspace path dependency ({})",
+                        dep.name,
+                        detail.trim()
+                    ),
+                    "the workspace is hermetic by policy (DESIGN.md §6): vendor the \
+                     functionality in-tree instead of adding a registry or git dependency",
+                ));
+            }
+            // 3b. A dependency spec must not force-enable trace features.
+            if dep.raw.contains("features")
+                && (dep.raw.contains("trace") || dep.raw.contains("enabled"))
+            {
+                out.push(manifest_diag(
+                    m,
+                    dep.line,
+                    "feature-default-off",
+                    format!(
+                        "dependency `{}` force-enables instrumentation features",
+                        dep.name
+                    ),
+                    "the `trace` chain must stay default-off so release hot paths compile \
+                     to no-ops; forward it through `[features]` instead",
+                ));
+            }
+        }
+    }
+
+    // 2. The trace chain.
+    let by_name: BTreeMap<&str, &Manifest> = manifests
+        .iter()
+        .filter(|m| !m.package_name.is_empty())
+        .map(|m| (m.package_name.as_str(), m))
+        .collect();
+    for (pkg, feature, member) in TRACE_CHAIN {
+        let Some(m) = by_name.get(pkg) else {
+            // Report against the root manifest if the package is gone.
+            if let Some(root_m) = manifests.first() {
+                out.push(manifest_diag(
+                    root_m,
+                    1,
+                    "feature-chain",
+                    format!("workspace package `{pkg}` (trace chain link) is missing"),
+                    "the trace feature chain is root → bds-bench → bds → bds-network → \
+                     bds-bdd → bds-trace/enabled (DESIGN.md §8)",
+                ));
+            }
+            continue;
+        };
+        match m.features.get(feature) {
+            Some((members, _)) if members.iter().any(|x| x == member) => {}
+            Some((_, line)) => out.push(manifest_diag(
+                m,
+                *line,
+                "feature-chain",
+                format!(
+                    "feature `{feature}` of `{pkg}` must forward `{member}` to keep the \
+                     trace chain intact"
+                ),
+                "the trace feature chain is root → bds-bench → bds → bds-network → \
+                 bds-bdd → bds-trace/enabled (DESIGN.md §8)",
+            )),
+            None => out.push(manifest_diag(
+                m,
+                1,
+                "feature-chain",
+                format!("`{pkg}` lost its `{feature}` feature (trace chain link)"),
+                "the trace feature chain is root → bds-bench → bds → bds-network → \
+                 bds-bdd → bds-trace/enabled (DESIGN.md §8)",
+            )),
+        }
+    }
+
+    // 3a. trace stays default-off.
+    for m in manifests {
+        if let Some((members, line)) = m.features.get("default") {
+            if members
+                .iter()
+                .any(|x| x == "trace" || x.ends_with("/trace") || x.ends_with("/enabled"))
+            {
+                out.push(manifest_diag(
+                    m,
+                    *line,
+                    "feature-default-off",
+                    format!(
+                        "`{}` enables instrumentation by default",
+                        if m.package_name.is_empty() {
+                            m.rel.to_string_lossy().into_owned()
+                        } else {
+                            m.package_name.clone()
+                        }
+                    ),
+                    "the `trace` chain must stay default-off so uninstrumented release \
+                     builds compile the macros to no-ops",
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn manifest_diag(
+    m: &Manifest,
+    line: usize,
+    rule: &'static str,
+    message: String,
+    help: &str,
+) -> Diagnostic {
+    Diagnostic {
+        rule,
+        path: m.rel.clone(),
+        line,
+        col: 1,
+        span: (0, 0),
+        message,
+        help: help.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manifest(rel: &str, text: &str) -> Manifest {
+        parse_manifest(Path::new(rel), text)
+    }
+
+    fn chain_manifests() -> Vec<Manifest> {
+        vec![
+            manifest(
+                "Cargo.toml",
+                "[package]\nname = \"bds-repro\"\n[features]\ntrace = [\"bds-bench/trace\"]\n",
+            ),
+            manifest(
+                "crates/bench/Cargo.toml",
+                "[package]\nname = \"bds-bench\"\n[features]\ntrace = [\n    \"bds-trace/enabled\",\n    \"bds/trace\",\n]\n",
+            ),
+            manifest(
+                "crates/bds-core/Cargo.toml",
+                "[package]\nname = \"bds\"\n[features]\ntrace = [\"bds-trace/enabled\", \"bds-network/trace\"]\n",
+            ),
+            manifest(
+                "crates/network/Cargo.toml",
+                "[package]\nname = \"bds-network\"\n[features]\ntrace = [\"bds-bdd/trace\"]\n",
+            ),
+            manifest(
+                "crates/bdd/Cargo.toml",
+                "[package]\nname = \"bds-bdd\"\n[features]\ntrace = [\"bds-trace/enabled\"]\n",
+            ),
+        ]
+    }
+
+    #[test]
+    fn parses_package_features_and_deps() {
+        let m = manifest(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\" # a comment\n[features]\ntrace = [\n  \"a/trace\",\n  \"b/trace\",\n]\n[dependencies]\na.workspace = true\nb = { path = \"../b\" }\nc = \"1.0\"\n",
+        );
+        assert_eq!(m.package_name, "x");
+        assert_eq!(
+            m.features.get("trace").map(|(v, _)| v.clone()),
+            Some(vec!["a/trace".to_string(), "b/trace".to_string()])
+        );
+        let specs: Vec<_> = m
+            .deps
+            .iter()
+            .map(|d| (d.name.as_str(), d.spec.clone()))
+            .collect();
+        assert_eq!(specs[0], ("a", DepSpec::Workspace));
+        assert_eq!(specs[1], ("b", DepSpec::Path));
+        assert!(matches!(specs[2], ("c", DepSpec::External(_))));
+    }
+
+    #[test]
+    fn intact_chain_is_clean() {
+        assert!(check_parsed(&chain_manifests()).is_empty());
+    }
+
+    #[test]
+    fn broken_chain_link_is_flagged() {
+        let mut ms = chain_manifests();
+        ms[3] = manifest(
+            "crates/network/Cargo.toml",
+            "[package]\nname = \"bds-network\"\n[features]\ntrace = [\"bds-trace/enabled\"]\n",
+        );
+        let diags = check_parsed(&ms);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "feature-chain");
+        assert!(diags[0].message.contains("bds-bdd/trace"));
+    }
+
+    #[test]
+    fn missing_feature_is_flagged() {
+        let mut ms = chain_manifests();
+        ms[4] = manifest("crates/bdd/Cargo.toml", "[package]\nname = \"bds-bdd\"\n");
+        let diags = check_parsed(&ms);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "feature-chain" && d.message.contains("bds-bdd")));
+    }
+
+    #[test]
+    fn external_dep_is_flagged() {
+        let mut ms = chain_manifests();
+        ms.push(manifest(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\n[dependencies]\nserde = \"1.0\"\n",
+        ));
+        let diags = check_parsed(&ms);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "external-dep");
+        assert!(diags[0].message.contains("serde"));
+        assert_eq!(diags[0].line, 4);
+    }
+
+    #[test]
+    fn git_dep_is_flagged() {
+        let mut ms = chain_manifests();
+        ms.push(manifest(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\n[dependencies]\nfoo = { git = \"https://example.org/foo\" }\n",
+        ));
+        assert!(check_parsed(&ms).iter().any(|d| d.rule == "external-dep"));
+    }
+
+    #[test]
+    fn default_on_trace_is_flagged() {
+        let mut ms = chain_manifests();
+        ms[4] = manifest(
+            "crates/bdd/Cargo.toml",
+            "[package]\nname = \"bds-bdd\"\n[features]\ndefault = [\"trace\"]\ntrace = [\"bds-trace/enabled\"]\n",
+        );
+        let diags = check_parsed(&ms);
+        assert!(diags.iter().any(|d| d.rule == "feature-default-off"));
+    }
+
+    #[test]
+    fn force_enabled_dep_feature_is_flagged() {
+        let mut ms = chain_manifests();
+        ms.push(manifest(
+            "crates/x/Cargo.toml",
+            "[package]\nname = \"x\"\n[dependencies]\nbds-trace = { path = \"../trace\", features = [\"enabled\"] }\n",
+        ));
+        let diags = check_parsed(&ms);
+        assert!(diags.iter().any(|d| d.rule == "feature-default-off"));
+    }
+
+    #[test]
+    fn workspace_dependencies_section_is_checked() {
+        let m = manifest(
+            "Cargo.toml",
+            "[workspace.dependencies]\nbds-bdd = { path = \"crates/bdd\" }\nrand = \"0.8\"\n",
+        );
+        let mut ms = chain_manifests();
+        ms.push(m);
+        let diags = check_parsed(&ms);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == "external-dep" && d.message.contains("rand")));
+    }
+}

@@ -1,0 +1,223 @@
+//! Workspace file discovery and classification.
+//!
+//! The walker defensively skips `target/` directories and hidden
+//! (dot-prefixed) directories **by name at every level**, not just at
+//! the workspace root, so stale build trees, editor state, or a
+//! vendored checkout can never produce phantom violations.
+
+use std::path::{Path, PathBuf};
+
+/// How a source file participates in analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Library code: the full rule set applies. `tests/`, `benches/`,
+    /// `examples/`, `src/bin/` and the xtask crate are not library code
+    /// (their markers are still audited).
+    pub library: bool,
+    /// A crate root (`src/lib.rs` / `src/main.rs`): must carry
+    /// `#![forbid(unsafe_code)]`.
+    pub crate_root: bool,
+}
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Absolute path.
+    pub abs: PathBuf,
+    /// Workspace-relative path (forward slashes on every platform).
+    pub rel: PathBuf,
+    /// Classification.
+    pub class: FileClass,
+}
+
+/// Everything the analyzer walks.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All `.rs` files, sorted by relative path.
+    pub sources: Vec<SourceFile>,
+    /// All workspace `Cargo.toml` manifests (root first, then crates).
+    pub manifests: Vec<PathBuf>,
+}
+
+/// True for directory names the walker must never descend into:
+/// `target`, anything dot-prefixed, and VCS internals — checked at
+/// every level of the tree.
+#[must_use]
+pub fn is_skipped_dir(name: &str) -> bool {
+    name == "target" || name.starts_with('.') || name == "node_modules"
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping
+/// [`is_skipped_dir`] names at every level. Entries within one
+/// directory are visited in sorted order so results are deterministic
+/// regardless of filesystem iteration order.
+pub fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !is_skipped_dir(&name) {
+                walk(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Discovers every source file and manifest of the workspace rooted at
+/// `root`.
+#[must_use]
+pub fn collect_workspace(root: &Path) -> Workspace {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let name = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if dir.is_dir() && !is_skipped_dir(&name) {
+                walk(&dir, &mut files);
+            }
+        }
+    }
+    walk(&root.join("src"), &mut files);
+    walk(&root.join("tests"), &mut files);
+    walk(&root.join("examples"), &mut files);
+
+    // Fixture files are deliberately-seeded violations used by the
+    // analyzer's own tests; they are test data, not workspace code.
+    files.retain(|p| !p.components().any(|c| c.as_os_str() == "fixtures"));
+
+    let mut sources = Vec::new();
+    for abs in files {
+        let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
+        let class = classify(&rel);
+        sources.push(SourceFile { abs, rel, class });
+    }
+    sources.sort_by(|a, b| a.rel.cmp(&b.rel));
+
+    let mut manifests = vec![root.join("Cargo.toml")];
+    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
+        let mut dirs: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        dirs.sort();
+        for dir in dirs {
+            let m = dir.join("Cargo.toml");
+            if m.is_file() {
+                manifests.push(m);
+            }
+        }
+    }
+    manifests.retain(|m| m.is_file());
+
+    Workspace { sources, manifests }
+}
+
+/// Classifies a workspace-relative path.
+#[must_use]
+pub fn classify(rel: &Path) -> FileClass {
+    let s = rel_str(rel);
+    let in_src = s.starts_with("crates/") && s.contains("/src/") || s.starts_with("src/");
+    let excluded_component = rel.components().any(|c| {
+        let c = c.as_os_str();
+        c == "bin" || c == "tests" || c == "benches" || c == "examples" || c == "fixtures"
+    });
+    let is_xtask = s.starts_with("crates/xtask/");
+    let library = in_src && !excluded_component && !is_xtask;
+    let crate_root = s == "src/lib.rs"
+        || s == "src/main.rs"
+        || (s.starts_with("crates/")
+            && (s.ends_with("/src/lib.rs") || s.ends_with("/src/main.rs")));
+    FileClass {
+        library,
+        crate_root,
+    }
+}
+
+/// Workspace-relative path with forward slashes (for rule path
+/// predicates).
+#[must_use]
+pub fn rel_str(rel: &Path) -> String {
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_names() {
+        assert!(is_skipped_dir("target"));
+        assert!(is_skipped_dir(".git"));
+        assert!(is_skipped_dir(".cargo"));
+        assert!(!is_skipped_dir("src"));
+        assert!(!is_skipped_dir("bdd"));
+    }
+
+    #[test]
+    fn classification() {
+        let lib = classify(Path::new("crates/bdd/src/manager.rs"));
+        assert!(lib.library && !lib.crate_root);
+        let root = classify(Path::new("crates/bdd/src/lib.rs"));
+        assert!(root.library && root.crate_root);
+        let bin = classify(Path::new("src/bin/table1.rs"));
+        assert!(!bin.library);
+        let bins = classify(Path::new("crates/bench/src/bins/table1.rs"));
+        assert!(bins.library, "bins/ (plural) is library code");
+        let test = classify(Path::new("tests/differential_flow.rs"));
+        assert!(!test.library && !test.crate_root);
+        let xtask = classify(Path::new("crates/xtask/src/main.rs"));
+        assert!(!xtask.library && xtask.crate_root);
+        let fixture = classify(Path::new(
+            "crates/analyze/tests/fixtures/panic_violation.rs",
+        ));
+        assert!(!fixture.library);
+    }
+
+    #[test]
+    fn walk_skips_target_and_hidden_at_every_level() {
+        let base =
+            std::env::temp_dir().join(format!("bds-analyze-walk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        for dir in [
+            "a/src",
+            "a/target/debug",
+            "a/src/target",
+            "a/src/.hidden",
+            "a/.git/x",
+        ] {
+            std::fs::create_dir_all(base.join(dir)).expect("mkdir");
+        }
+        for f in [
+            "a/src/ok.rs",
+            "a/target/debug/phantom.rs",
+            "a/src/target/phantom2.rs",
+            "a/src/.hidden/phantom3.rs",
+            "a/.git/x/phantom4.rs",
+        ] {
+            std::fs::write(base.join(f), "fn x() {}\n").expect("write");
+        }
+        let mut out = Vec::new();
+        walk(&base, &mut out);
+        let names: Vec<String> = out
+            .iter()
+            .map(|p| {
+                p.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default()
+            })
+            .collect();
+        assert_eq!(names, vec!["ok.rs"]);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

@@ -1,0 +1,572 @@
+//! A lossless Rust lexer.
+//!
+//! Every byte of the input is covered by exactly one token, so the
+//! concatenation of all token texts reproduces the source file
+//! byte-for-byte (the span round-trip property test in
+//! `tests/span_roundtrip.rs` asserts this over the whole workspace).
+//! Comment, string, raw-string, byte-string and char-literal handling
+//! is done here, once, correctly — rules downstream match on token
+//! kinds and never re-scan raw text, so message strings and comments
+//! can never trigger a lint.
+//!
+//! The lexer is deliberately infallible: malformed input (an
+//! unterminated string, a stray quote) degrades into a token that runs
+//! to end of input rather than an error, because the analyzer must
+//! keep walking a workspace even when one file is mid-edit.
+
+/// Byte range `[start, end)` of a token in its source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Span {
+    /// The token's text inside `src`.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Spaces, tabs, newlines (one run per token).
+    Whitespace,
+    /// `// ...` (non-doc).
+    LineComment,
+    /// `/* ... */` (non-doc, nesting handled).
+    BlockComment,
+    /// `/// ...` or `/** ... */` outer doc comment.
+    DocComment,
+    /// `//! ...` or `/*! ... */` inner doc comment.
+    InnerDocComment,
+    /// Identifier or keyword (`fn`, `HashMap`, `for` — keywords are not
+    /// distinguished; rules match on text).
+    Ident,
+    /// `r#ident` raw identifier.
+    RawIdent,
+    /// `'a`, `'static`, `'_` — also loop labels.
+    Lifetime,
+    /// Integer or float literal, including prefix/suffix (`0x1f_u32`).
+    Number,
+    /// `"..."` string literal (escapes handled).
+    Str,
+    /// `r"..."` / `r#"..."#` raw string literal.
+    RawStr,
+    /// `b"..."`, `br#"..."#`, `c"..."` byte/C string literal.
+    ByteStr,
+    /// `'x'` char literal (escapes handled).
+    Char,
+    /// `b'x'` byte literal.
+    Byte,
+    /// A single punctuation byte (`::` is two adjacent `:` tokens).
+    Punct,
+    /// `#!/usr/bin/env ...` shebang on line one.
+    Shebang,
+}
+
+/// One token: a kind plus the byte span it covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte range in the source.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text inside `src`.
+    #[must_use]
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        self.span.text(src)
+    }
+
+    /// True for whitespace and all comment kinds — tokens the parser
+    /// and rule matchers skip over.
+    #[must_use]
+    pub fn is_trivia(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::Whitespace
+                | TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocComment
+                | TokenKind::InnerDocComment
+                | TokenKind::Shebang
+        )
+    }
+
+    /// True for any comment kind (doc or not).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment
+                | TokenKind::BlockComment
+                | TokenKind::DocComment
+                | TokenKind::InnerDocComment
+        )
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a lossless token stream.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    if bytes.starts_with(b"#!") && !bytes.starts_with(b"#![") {
+        let end = line_end(bytes, 0);
+        tokens.push(tok(TokenKind::Shebang, 0, end));
+        i = end;
+    }
+    while i < bytes.len() {
+        let start = i;
+        let b = bytes[i];
+        let (kind, end) = if b.is_ascii_whitespace() {
+            (
+                TokenKind::Whitespace,
+                scan_while(bytes, i, |b| b.is_ascii_whitespace()),
+            )
+        } else if bytes[i..].starts_with(b"//") {
+            let end = line_end(bytes, i);
+            let kind = if bytes[i..].starts_with(b"//!") {
+                TokenKind::InnerDocComment
+            } else if bytes[i..].starts_with(b"///") && !bytes[i..].starts_with(b"////") {
+                TokenKind::DocComment
+            } else {
+                TokenKind::LineComment
+            };
+            (kind, end)
+        } else if bytes[i..].starts_with(b"/*") {
+            let end = block_comment_end(bytes, i);
+            let kind = if bytes[i..].starts_with(b"/*!") {
+                TokenKind::InnerDocComment
+            } else if bytes[i..].starts_with(b"/**")
+                && !bytes[i..].starts_with(b"/***")
+                && !bytes[i..].starts_with(b"/**/")
+            {
+                TokenKind::DocComment
+            } else {
+                TokenKind::BlockComment
+            };
+            (kind, end)
+        } else if b == b'"' {
+            (TokenKind::Str, string_end(bytes, i))
+        } else if b == b'\'' {
+            char_or_lifetime(bytes, i)
+        } else if let Some(t) = prefixed_literal(bytes, i) {
+            t
+        } else if is_ident_start(b) {
+            (TokenKind::Ident, scan_while(bytes, i, is_ident_continue))
+        } else if b.is_ascii_digit() {
+            (TokenKind::Number, number_end(bytes, i))
+        } else {
+            (TokenKind::Punct, i + 1)
+        };
+        debug_assert!(end > start, "lexer must make progress");
+        tokens.push(tok(kind, start, end.min(bytes.len())));
+        i = end;
+    }
+    tokens
+}
+
+fn tok(kind: TokenKind, start: usize, end: usize) -> Token {
+    Token {
+        kind,
+        span: Span { start, end },
+    }
+}
+
+fn scan_while(bytes: &[u8], start: usize, pred: impl Fn(u8) -> bool) -> usize {
+    let mut i = start;
+    while i < bytes.len() && pred(bytes[i]) {
+        i += 1;
+    }
+    i
+}
+
+fn line_end(bytes: &[u8], start: usize) -> usize {
+    scan_while(bytes, start, |b| b != b'\n')
+}
+
+/// End of a (possibly nested) block comment opened at `start`.
+fn block_comment_end(bytes: &[u8], start: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < bytes.len() {
+        if bytes[i..].starts_with(b"/*") {
+            depth += 1;
+            i += 2;
+        } else if bytes[i..].starts_with(b"*/") {
+            depth -= 1;
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    bytes.len()
+}
+
+/// End of a `"..."` string opened at `start` (handles `\"` and `\\`;
+/// strings may span lines). Unterminated strings run to end of input.
+fn string_end(bytes: &[u8], start: usize) -> usize {
+    let mut i = start + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    bytes.len()
+}
+
+/// End of a raw string `r"..."` / `r#"..."#` whose `r` sits at `start`
+/// (`hash_start` points at the first `#` or the opening quote).
+fn raw_string_end(bytes: &[u8], hash_start: usize) -> usize {
+    let mut i = hash_start;
+    let mut hashes = 0usize;
+    while i < bytes.len() && bytes[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= bytes.len() || bytes[i] != b'"' {
+        return i; // not actually a raw string; caller guards against this
+    }
+    i += 1;
+    while i < bytes.len() {
+        if bytes[i] == b'"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return j;
+            }
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// `r"`/`r#"`/`r#ident`/`b"`/`br"`/`b'`/`c"` family. Returns `None`
+/// when the byte at `start` begins a plain identifier.
+fn prefixed_literal(bytes: &[u8], start: usize) -> Option<(TokenKind, usize)> {
+    let rest = &bytes[start..];
+    if rest.starts_with(b"r\"") {
+        return Some((TokenKind::RawStr, raw_string_end(bytes, start + 1)));
+    }
+    if rest.starts_with(b"r#") {
+        // Raw string `r#"` (any number of hashes) or raw ident `r#name`.
+        let after_hashes = scan_while(bytes, start + 1, |b| b == b'#');
+        if after_hashes < bytes.len() && bytes[after_hashes] == b'"' {
+            return Some((TokenKind::RawStr, raw_string_end(bytes, start + 1)));
+        }
+        if after_hashes == start + 2
+            && after_hashes < bytes.len()
+            && is_ident_start(bytes[after_hashes])
+        {
+            return Some((
+                TokenKind::RawIdent,
+                scan_while(bytes, after_hashes, is_ident_continue),
+            ));
+        }
+        return None;
+    }
+    if rest.starts_with(b"b\"") || rest.starts_with(b"c\"") {
+        return Some((TokenKind::ByteStr, string_end(bytes, start + 1)));
+    }
+    if rest.starts_with(b"br\"") || rest.starts_with(b"br#") {
+        return Some((TokenKind::ByteStr, raw_string_end(bytes, start + 2)));
+    }
+    if rest.starts_with(b"b'") {
+        let (_, end) = char_or_lifetime(bytes, start + 1);
+        return Some((TokenKind::Byte, end));
+    }
+    None
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime / loop label)
+/// at a `'` sitting at `start`.
+fn char_or_lifetime(bytes: &[u8], start: usize) -> (TokenKind, usize) {
+    let i = start + 1;
+    if i >= bytes.len() {
+        return (TokenKind::Punct, i);
+    }
+    if bytes[i] == b'\\' {
+        // Escaped char literal: skip the escape, then scan to the quote.
+        let mut j = i + 2;
+        while j < bytes.len() && bytes[j] != b'\'' {
+            j += 1;
+        }
+        return (TokenKind::Char, (j + 1).min(bytes.len()));
+    }
+    // One UTF-8 character followed by a closing quote → char literal.
+    let char_len = utf8_len(bytes[i]);
+    let after = i + char_len;
+    if after < bytes.len() && bytes[after] == b'\'' && bytes[i] != b'\'' {
+        return (TokenKind::Char, after + 1);
+    }
+    if is_ident_start(bytes[i]) {
+        return (TokenKind::Lifetime, scan_while(bytes, i, is_ident_continue));
+    }
+    (TokenKind::Punct, i)
+}
+
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// End of a numeric literal starting with a digit at `start`.
+fn number_end(bytes: &[u8], start: usize) -> usize {
+    let mut i = start;
+    if bytes[i] == b'0'
+        && i + 1 < bytes.len()
+        && matches!(bytes[i + 1], b'x' | b'X' | b'o' | b'O' | b'b' | b'B')
+    {
+        // Prefixed literal: digits and the type suffix are one
+        // ident-continue run (`0x1f_u32`).
+        return scan_while(bytes, i + 2, is_ident_continue);
+    }
+    i = scan_while(bytes, i, |b| b.is_ascii_digit() || b == b'_');
+    // Fractional part only when followed by a digit (`1.max(2)` and
+    // tuple indexing keep their dot as punctuation).
+    if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+        i = scan_while(bytes, i + 1, |b| b.is_ascii_digit() || b == b'_');
+    }
+    // Exponent.
+    if i < bytes.len() && matches!(bytes[i], b'e' | b'E') {
+        let mut j = i + 1;
+        if j < bytes.len() && matches!(bytes[j], b'+' | b'-') {
+            j += 1;
+        }
+        if j < bytes.len() && bytes[j].is_ascii_digit() {
+            i = scan_while(bytes, j, |b| b.is_ascii_digit() || b == b'_');
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    scan_while(bytes, i, is_ident_continue)
+}
+
+/// Byte-offset → 1-based `(line, column)` lookup table.
+pub struct LineIndex {
+    line_starts: Vec<usize>,
+}
+
+impl LineIndex {
+    /// Builds the index for `src`.
+    #[must_use]
+    pub fn new(src: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        Self { line_starts }
+    }
+
+    /// 1-based `(line, column)` of a byte offset (column counts bytes).
+    #[must_use]
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self
+            .line_starts
+            .partition_point(|&s| s <= offset)
+            .saturating_sub(1);
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) -> Vec<Token> {
+        let tokens = lex(src);
+        let rebuilt: String = tokens.iter().map(|t| t.text(src)).collect();
+        assert_eq!(rebuilt, src, "lossless round-trip");
+        let mut pos = 0;
+        for t in &tokens {
+            assert_eq!(t.span.start, pos, "tokens must tile the input");
+            pos = t.span.end;
+        }
+        tokens
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        roundtrip(src)
+            .into_iter()
+            .filter(|t| !t.is_trivia())
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        use TokenKind::{Ident, Punct};
+        assert_eq!(
+            kinds("fn f(x: u32) -> u32 { x }"),
+            vec![
+                Ident, Ident, Punct, Ident, Punct, Ident, Punct, Punct, Punct, Ident, Punct, Ident,
+                Punct
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let src = r#"let s = "call .unwrap() and panic!(now)";"#;
+        let toks = roundtrip(src);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(toks
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || t.text(src) != "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = "let s = r#\"has \"quotes\" and .unwrap() inside\"#; x";
+        let toks = roundtrip(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::RawStr));
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "x"]);
+    }
+
+    #[test]
+    fn raw_ident_is_not_a_raw_string() {
+        let src = "let r#type = 1;";
+        let toks = roundtrip(src);
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::RawIdent && t.text(src) == "r#type"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c: char = 'a'; let s: &'static str = \"x\"; 'outer: loop {}";
+        let toks = roundtrip(src);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(chars, vec!["'a'"]);
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(lifetimes, vec!["'static", "'outer"]);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\''", "'\\n'", "'\\u{1F600}'", "'é'"] {
+            let toks = roundtrip(src);
+            assert_eq!(toks.len(), 1, "{src:?}");
+            assert_eq!(toks[0].kind, TokenKind::Char, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ x";
+        let toks = roundtrip(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == TokenKind::BlockComment)
+                .count(),
+            1
+        );
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && t.text(src) == "x"));
+    }
+
+    #[test]
+    fn doc_comment_kinds() {
+        let src = "/// outer\n//! inner\n// plain\n/** block doc */\n/*! inner block */\nfn f() {}";
+        let toks = roundtrip(src);
+        let count = |k: TokenKind| toks.iter().filter(|t| t.kind == k).count();
+        assert_eq!(count(TokenKind::DocComment), 2);
+        assert_eq!(count(TokenKind::InnerDocComment), 2);
+        assert_eq!(count(TokenKind::LineComment), 1);
+    }
+
+    #[test]
+    fn numbers() {
+        let src = "0x1f_u32 1_000 1.5e-3 2.0f64 1..=2 t.0";
+        let toks = roundtrip(src);
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text(src))
+            .collect();
+        assert_eq!(
+            nums,
+            vec!["0x1f_u32", "1_000", "1.5e-3", "2.0f64", "1", "2", "0"]
+        );
+    }
+
+    #[test]
+    fn byte_literals() {
+        let src = "b\"bytes\" br#\"raw\"# b'a' c\"cstr\"";
+        let toks = roundtrip(src);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::ByteStr).count(),
+            3
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokenKind::Byte).count(), 1);
+    }
+
+    #[test]
+    fn unterminated_string_runs_to_eof() {
+        let src = "let s = \"oops\nfn f() {}";
+        let toks = roundtrip(src);
+        assert!(toks.iter().any(|t| t.kind == TokenKind::Str));
+    }
+
+    #[test]
+    fn shebang() {
+        let src = "#!/usr/bin/env rust\nfn main() {}";
+        let toks = roundtrip(src);
+        assert_eq!(toks[0].kind, TokenKind::Shebang);
+    }
+
+    #[test]
+    fn line_index() {
+        let idx = LineIndex::new("ab\ncd\n");
+        assert_eq!(idx.line_col(0), (1, 1));
+        assert_eq!(idx.line_col(1), (1, 2));
+        assert_eq!(idx.line_col(3), (2, 1));
+        assert_eq!(idx.line_col(5), (2, 3));
+    }
+}

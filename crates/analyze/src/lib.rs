@@ -1,0 +1,49 @@
+//! `bds-analyze` — the workspace's in-tree static analyzer.
+//!
+//! A zero-dependency Rust static-analysis subsystem purpose-built for
+//! the BDS workspace's policy lints. `cargo xtask lint` is a thin
+//! driver over [`analyze_workspace`].
+//!
+//! Pipeline (DESIGN.md §10):
+//!
+//! 1. [`lexer`] — a lossless token stream with byte spans; comment,
+//!    string, raw-string and char-literal handling is done once,
+//!    correctly, so no rule ever re-scans raw text.
+//! 2. [`parser`] — a lightweight item/block parser: the `fn`/`impl`/
+//!    `mod`/`use` tree with visibility, attributes, doc-comment
+//!    attachment and `#[cfg(test)]` regions.
+//! 3. [`rules`] — the rule registry: the classic four (panic, print,
+//!    docs, instant), the determinism suite (iter-order, thread-id,
+//!    float-cast), the concurrency suite (static-mut, lock,
+//!    thread-spawn) and forbid-unsafe.
+//! 4. [`suppress`] — span-anchored, *audited* `lint:allow` markers: a
+//!    marker that suppresses nothing is itself a violation
+//!    (`stale-allow`), as is one without a written reason
+//!    (`allow-justification`).
+//! 5. [`features`] — the Cargo feature-graph checker: zero external
+//!    dependencies, the `trace` chain intact, instrumentation
+//!    default-off.
+//! 6. [`diag`] — structured diagnostics with text and schema-stable
+//!    JSON renderers (`bds-analyze-report/v1`).
+
+#![forbid(unsafe_code)]
+
+/// Structured diagnostics and the text / JSON report renderers.
+pub mod diag;
+/// The per-file pipeline and the workspace driver.
+pub mod engine;
+/// The Cargo feature-graph checker (manifest lints).
+pub mod features;
+/// Workspace file discovery and file classification.
+pub mod files;
+/// The lossless, infallible Rust lexer.
+pub mod lexer;
+/// The lightweight item/block parser.
+pub mod parser;
+/// The rule registry and every lint rule.
+pub mod rules;
+/// Audited `lint:allow` suppression markers.
+pub mod suppress;
+
+pub use diag::{Diagnostic, Report};
+pub use engine::{analyze_source, analyze_source_default, analyze_workspace};

@@ -1,0 +1,562 @@
+//! A lightweight item/block parser over the token stream.
+//!
+//! This is not a full Rust grammar: it recovers exactly the structure
+//! the lint rules need — the item tree (`fn`/`struct`/`impl`/`mod`/…
+//! with visibility, attributes, doc-comment attachment and byte
+//! spans), file-level inner attributes, and the `#[cfg(test)]` regions
+//! that exempt test code from library lints. Item bodies are treated
+//! as opaque token runs except for `mod` and `impl` blocks, which are
+//! parsed recursively so nested items (and public methods) are seen.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Visibility of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Vis {
+    /// `pub`.
+    Pub,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)`.
+    PubRestricted,
+    /// No visibility qualifier.
+    Private,
+}
+
+/// One parsed item.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item keyword: `"fn"`, `"struct"`, `"enum"`, `"trait"`, `"impl"`,
+    /// `"mod"`, `"use"`, `"type"`, `"const"`, `"static"`, `"union"`,
+    /// `"macro"`, `"extern"`.
+    pub kind: &'static str,
+    /// Declared name, when the grammar position has one.
+    pub name: Option<String>,
+    /// Visibility qualifier.
+    pub vis: Vis,
+    /// Byte span from the first attribute to the closing brace or
+    /// semicolon.
+    pub span: (usize, usize),
+    /// Byte offset of the item keyword (diagnostics anchor here).
+    pub keyword_offset: usize,
+    /// True when a doc comment (`///`, `/** */`, `#[doc…]`) is attached.
+    pub has_doc: bool,
+    /// True when the item carries `#[cfg(test)]` / `#[cfg(all(test…`.
+    pub cfg_test: bool,
+    /// Nesting depth (0 = file level).
+    pub depth: usize,
+}
+
+/// Parse result for one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// All items, in source order, including items nested in `mod` and
+    /// `impl` blocks.
+    pub items: Vec<Item>,
+    /// Raw text of file-level inner attributes (`#![…]`), without the
+    /// `#![` `]` delimiters collapsed — e.g. `"forbid(unsafe_code)"`.
+    pub inner_attrs: Vec<String>,
+    /// Byte ranges covered by `#[cfg(test)]` items.
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl ParsedFile {
+    /// True when `offset` falls inside a `#[cfg(test)]` item.
+    #[must_use]
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// True when the file declares the inner attribute `#![forbid(unsafe_code)]`.
+    #[must_use]
+    pub fn forbids_unsafe(&self) -> bool {
+        self.inner_attrs
+            .iter()
+            .any(|a| a.contains("forbid") && a.contains("unsafe_code"))
+    }
+}
+
+/// Tokens that may prefix an item keyword.
+const MODIFIERS: [&str; 5] = ["unsafe", "async", "extern", "default", "auto"];
+
+/// Item keywords recognised at item level.
+const ITEM_KEYWORDS: [&str; 13] = [
+    "fn",
+    "struct",
+    "enum",
+    "trait",
+    "impl",
+    "mod",
+    "use",
+    "type",
+    "const",
+    "static",
+    "union",
+    "macro_rules",
+    "macro",
+];
+
+/// Parse the token stream of one file.
+#[must_use]
+pub fn parse(src: &str, tokens: &[Token]) -> ParsedFile {
+    let mut out = ParsedFile::default();
+    // Indices of non-whitespace tokens (comments kept: doc attachment
+    // needs them in sequence).
+    let view: Vec<usize> = (0..tokens.len())
+        .filter(|&i| {
+            tokens[i].kind != TokenKind::Whitespace && tokens[i].kind != TokenKind::Shebang
+        })
+        .collect();
+    parse_items(src, tokens, &view, 0, view.len(), 0, &mut out);
+    out
+}
+
+struct Cursor<'a> {
+    src: &'a str,
+    tokens: &'a [Token],
+    view: &'a [usize],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self, ahead: usize) -> Option<&'a Token> {
+        if self.pos + ahead >= self.end {
+            return None;
+        }
+        self.view.get(self.pos + ahead).map(|&i| &self.tokens[i])
+    }
+
+    fn text(&self, ahead: usize) -> &'a str {
+        self.peek(ahead).map_or("", |t| t.text(self.src))
+    }
+
+    fn kind(&self, ahead: usize) -> Option<TokenKind> {
+        self.peek(ahead).map(|t| t.kind)
+    }
+
+    fn bump(&mut self) {
+        self.pos += 1;
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.end
+    }
+}
+
+/// True when the whitespace between two consecutive view entries
+/// contains a blank line (breaks doc-comment attachment).
+fn blank_line_between(src: &str, tokens: &[Token], view: &[usize], at: usize) -> bool {
+    if at == 0 {
+        return false;
+    }
+    let prev_end = tokens[view[at - 1]].span.end;
+    let next_start = tokens[view[at]].span.start;
+    src[prev_end..next_start]
+        .bytes()
+        .filter(|&b| b == b'\n')
+        .count()
+        >= 2
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_items(
+    src: &str,
+    tokens: &[Token],
+    view: &[usize],
+    start: usize,
+    end: usize,
+    depth: usize,
+    out: &mut ParsedFile,
+) {
+    let mut cur = Cursor {
+        src,
+        tokens,
+        view,
+        pos: start,
+        end,
+    };
+    while !cur.at_end() {
+        // --- leading trivia: doc comments, plain comments, attributes.
+        let mut has_doc = false;
+        let mut cfg_test = false;
+        let mut item_start: Option<usize> = None;
+        loop {
+            if cur.at_end() {
+                return;
+            }
+            if blank_line_between(src, tokens, view, cur.pos) {
+                has_doc = false;
+            }
+            let tok = match cur.peek(0) {
+                Some(t) => t,
+                None => return,
+            };
+            match tok.kind {
+                TokenKind::DocComment => {
+                    has_doc = true;
+                    item_start.get_or_insert(tok.span.start);
+                    cur.bump();
+                }
+                TokenKind::LineComment | TokenKind::BlockComment => {
+                    // Plain comments between docs and the item (including
+                    // trailing comments on attribute lines) do not break
+                    // doc attachment — mirroring rustdoc.
+                    cur.bump();
+                }
+                TokenKind::InnerDocComment => {
+                    has_doc = false;
+                    cur.bump();
+                }
+                TokenKind::Punct if tok.text(src) == "#" => {
+                    // Attribute: `#[…]` (outer) or `#![…]` (inner).
+                    let inner = cur.text(1) == "!";
+                    let bracket = if inner { 2 } else { 1 };
+                    if cur.text(bracket) != "[" {
+                        cur.bump();
+                        continue;
+                    }
+                    item_start.get_or_insert(tok.span.start);
+                    let (attr_text, consumed, is_doc, is_cfg_test) = scan_attribute(&cur, bracket);
+                    if inner {
+                        out.inner_attrs.push(attr_text);
+                        item_start = None;
+                        has_doc = false;
+                    } else {
+                        has_doc |= is_doc;
+                        cfg_test |= is_cfg_test;
+                    }
+                    for _ in 0..consumed {
+                        cur.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        // --- visibility.
+        let mut vis = Vis::Private;
+        if cur.kind(0) == Some(TokenKind::Ident) && cur.text(0) == "pub" {
+            item_start.get_or_insert(cur.peek(0).map_or(0, |t| t.span.start));
+            vis = if cur.text(1) == "(" {
+                Vis::PubRestricted
+            } else {
+                Vis::Pub
+            };
+            cur.bump();
+            if cur.text(0) == "(" {
+                skip_balanced(&mut cur);
+            }
+        }
+
+        // --- modifiers (`unsafe fn`, `extern "C" fn`, `async fn`, …).
+        while cur.kind(0) == Some(TokenKind::Ident)
+            && MODIFIERS.contains(&cur.text(0))
+            // `const` is both a modifier (`const fn`) and an item keyword.
+            && ITEM_KEYWORDS.contains(&cur.text(1))
+        {
+            item_start.get_or_insert(cur.peek(0).map_or(0, |t| t.span.start));
+            cur.bump();
+            if cur.kind(0) == Some(TokenKind::Str) {
+                cur.bump(); // extern ABI string
+            }
+        }
+        if cur.text(0) == "const" && cur.text(1) == "fn" {
+            item_start.get_or_insert(cur.peek(0).map_or(0, |t| t.span.start));
+            cur.bump();
+        }
+
+        // --- the item keyword itself.
+        let kw_tok = match cur.peek(0) {
+            Some(t) => t,
+            None => return,
+        };
+        let kw_text = kw_tok.text(src);
+        if kw_tok.kind != TokenKind::Ident || !ITEM_KEYWORDS.contains(&kw_text) {
+            // Not an item start (stray token, macro invocation at item
+            // level, `extern "C" {` block…): skip one token, consuming
+            // any balanced group it opens so we stay at item level.
+            if kw_text == "{" || kw_text == "(" || kw_text == "[" {
+                skip_balanced(&mut cur);
+            } else {
+                cur.bump();
+            }
+            continue;
+        }
+        let kind: &'static str = match kw_text {
+            "fn" => "fn",
+            "struct" => "struct",
+            "enum" => "enum",
+            "trait" => "trait",
+            "impl" => "impl",
+            "mod" => "mod",
+            "use" => "use",
+            "type" => "type",
+            "const" => "const",
+            "static" => "static",
+            "union" => "union",
+            "macro_rules" | "macro" => "macro",
+            _ => "fn",
+        };
+        let keyword_offset = kw_tok.span.start;
+        let span_start = item_start.unwrap_or(keyword_offset);
+        cur.bump();
+        if kind == "static" && cur.text(0) == "mut" {
+            cur.bump();
+        }
+        if kind == "macro" && cur.text(0) == "!" {
+            cur.bump();
+        }
+        let name = cur
+            .peek(0)
+            .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+            .map(|t| t.text(src).to_string());
+
+        // --- find the item's extent: first `{…}` group at item depth
+        // (the body) or a `;` at item depth.
+        let mut body: Option<(usize, usize)> = None; // view positions of { and }
+        let span_end: usize;
+        loop {
+            let Some(tok) = cur.peek(0) else {
+                span_end = tokens[view[cur.end - 1]].span.end;
+                break;
+            };
+            let t = tok.text(src);
+            if tok.kind == TokenKind::Punct && t == ";" {
+                span_end = tok.span.end;
+                cur.bump();
+                break;
+            }
+            if tok.kind == TokenKind::Punct && (t == "{" || t == "(" || t == "[") {
+                let open = cur.pos;
+                skip_balanced(&mut cur);
+                if t == "{" {
+                    let close = cur.pos.saturating_sub(1);
+                    body = Some((open, close));
+                    span_end = tokens[view[close.min(view.len() - 1)]].span.end;
+                    break;
+                }
+                continue;
+            }
+            cur.bump();
+        }
+
+        out.items.push(Item {
+            kind,
+            name,
+            vis,
+            span: (span_start, span_end),
+            keyword_offset,
+            has_doc,
+            cfg_test,
+            depth,
+        });
+        if cfg_test {
+            out.test_spans.push((span_start, span_end));
+        }
+
+        // --- recurse into mod and impl bodies so nested items are seen.
+        if let Some((open, close)) = body {
+            if (kind == "mod" || kind == "impl") && close > open + 1 {
+                parse_items(src, tokens, view, open + 1, close, depth + 1, out);
+            }
+        }
+    }
+}
+
+/// Scans an attribute starting at the current cursor position, where
+/// `bracket` is the view-offset of the `[` (1 for `#[`, 2 for `#![`).
+/// Returns `(inner text, tokens consumed, is-doc-attr, is-cfg-test)`.
+fn scan_attribute(cur: &Cursor<'_>, bracket: usize) -> (String, usize, bool, bool) {
+    let mut depth = 0usize;
+    let mut i = bracket;
+    let mut text = String::new();
+    let mut sig: Vec<&str> = Vec::new();
+    loop {
+        let t = cur.text(i);
+        if t.is_empty() {
+            break;
+        }
+        match t {
+            "[" | "(" => depth += 1,
+            "]" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if depth >= 1 && !(depth == 1 && t == "[") {
+            if !text.is_empty() {
+                text.push(' ');
+            }
+            text.push_str(t);
+            sig.push(t);
+        }
+        i += 1;
+    }
+    let is_doc = sig.first() == Some(&"doc");
+    let is_cfg_test = sig.first() == Some(&"cfg")
+        && (starts_with(&sig[1..], &["(", "test"])
+            || starts_with(&sig[1..], &["(", "all", "(", "test"]));
+    (text, i, is_doc, is_cfg_test)
+}
+
+fn starts_with(hay: &[&str], needle: &[&str]) -> bool {
+    hay.len() >= needle.len() && hay[..needle.len()] == *needle
+}
+
+/// Advances past one balanced `{}`/`()`/`[]` group opened at the
+/// cursor; on a non-opening token just bumps once.
+fn skip_balanced(cur: &mut Cursor<'_>) {
+    let mut depth = 0usize;
+    loop {
+        let Some(tok) = cur.peek(0) else { return };
+        if tok.kind == TokenKind::Punct {
+            match tok.text(cur.src) {
+                "{" | "(" | "[" => depth += 1,
+                "}" | ")" | "]" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        cur.bump();
+                        return;
+                    }
+                }
+                _ => {}
+            }
+        }
+        cur.bump();
+        if depth == 0 {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_str(src: &str) -> ParsedFile {
+        parse(src, &lex(src))
+    }
+
+    #[test]
+    fn finds_top_level_items() {
+        let p = parse_str("fn a() {}\npub struct B { x: u32 }\npub(crate) enum C { D }\n");
+        let kinds: Vec<_> = p.items.iter().map(|i| (i.kind, i.vis)).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("fn", Vis::Private),
+                ("struct", Vis::Pub),
+                ("enum", Vis::PubRestricted)
+            ]
+        );
+        assert_eq!(p.items[1].name.as_deref(), Some("B"));
+    }
+
+    #[test]
+    fn doc_attachment() {
+        let p = parse_str(
+            "/// Doc.\npub fn a() {}\n\n/// Orphan.\n\npub fn b() {}\n// plain\npub fn c() {}\n",
+        );
+        let docs: Vec<_> = p.items.iter().map(|i| i.has_doc).collect();
+        assert_eq!(docs, vec![true, false, false]);
+    }
+
+    #[test]
+    fn doc_through_attribute() {
+        let p = parse_str("/// Doc.\n#[inline]\npub fn a() {}\n");
+        assert!(p.items[0].has_doc);
+    }
+
+    #[test]
+    fn doc_survives_trailing_comment_on_attribute() {
+        let p = parse_str("/// Doc.\n#[allow(x)] // why\npub fn a() {}\n");
+        assert!(p.items[0].has_doc);
+    }
+
+    #[test]
+    fn cfg_test_region() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn b() {}\n";
+        let p = parse_str(src);
+        let unwrap_at = src.find("unwrap").expect("present");
+        assert!(p.in_test(unwrap_at));
+        let b_at = src.rfind("fn b").expect("present");
+        assert!(!p.in_test(b_at));
+    }
+
+    #[test]
+    fn cfg_all_test_region() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod t { fn u() {} }\n";
+        let p = parse_str(src);
+        assert!(p.in_test(src.find("fn u").expect("present")));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let src = "#[cfg(not(test))]\nmod m { fn u() {} }\n";
+        let p = parse_str(src);
+        assert!(!p.in_test(src.find("fn u").expect("present")));
+    }
+
+    #[test]
+    fn inner_attrs_collected() {
+        let p = parse_str("#![forbid(unsafe_code)]\n#![allow(dead_code)]\nfn a() {}\n");
+        assert!(p.forbids_unsafe());
+        assert_eq!(p.inner_attrs.len(), 2);
+    }
+
+    #[test]
+    fn impl_methods_are_items() {
+        let src = "pub struct S;\nimpl S {\n    /// Doc.\n    pub fn good(&self) {}\n    pub fn bad(&self) {}\n}\n";
+        let p = parse_str(src);
+        let fns: Vec<_> = p
+            .items
+            .iter()
+            .filter(|i| i.kind == "fn")
+            .map(|i| (i.name.clone(), i.has_doc, i.depth))
+            .collect();
+        assert_eq!(
+            fns,
+            vec![
+                (Some("good".to_string()), true, 1),
+                (Some("bad".to_string()), false, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_mod_items_are_seen() {
+        let src = "mod outer {\n    pub fn inner() {}\n}\n";
+        let p = parse_str(src);
+        assert!(p
+            .items
+            .iter()
+            .any(|i| i.kind == "fn" && i.name.as_deref() == Some("inner") && i.depth == 1));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item() {
+        let src = "#[cfg(test)]\nuse helper::x;\nfn a() { y.unwrap(); }\n";
+        let p = parse_str(src);
+        assert!(!p.in_test(src.find("unwrap").expect("present")));
+        assert!(p.in_test(src.find("helper").expect("present")));
+    }
+
+    #[test]
+    fn const_fn_and_unsafe_fn() {
+        let p = parse_str("pub const fn a() {}\npub async fn b() {}\n");
+        let kinds: Vec<_> = p.items.iter().map(|i| i.kind).collect();
+        assert_eq!(kinds, vec!["fn", "fn"]);
+    }
+
+    #[test]
+    fn struct_with_expression_braces_in_const() {
+        let p = parse_str("const X: S = S { a: 1 };\npub fn after() {}\n");
+        assert!(p.items.iter().any(|i| i.kind == "fn" && i.vis == Vis::Pub));
+    }
+}

@@ -1,0 +1,122 @@
+//! Concurrency lints.
+//!
+//! The PR 5 parallel-flow design shards work across private
+//! per-worker BDD managers and merges at a barrier — no shared mutable
+//! state, no locks on hot paths, and all thread creation confined to
+//! the sanctioned scoped-worker modules. These rules keep future code
+//! on that architecture.
+
+use super::{Diagnostic, FileCx, Rule};
+
+/// No `static mut` anywhere in library code.
+pub struct StaticMutRule;
+
+impl Rule for StaticMutRule {
+    fn name(&self) -> &'static str {
+        "static-mut"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            if cx.is_ident(i, "static") && cx.is_ident(i + 1, "mut") {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    "`static mut` global state".to_string(),
+                    "mutable globals race under the sharded flow; use message passing, \
+                     per-worker state, or an atomic — `// lint:allow(static-mut) — \
+                     <reason>` needs a reviewer-approved soundness argument",
+                ));
+            }
+        }
+    }
+}
+
+/// Shared-lock types banned from the BDD engine's hot paths.
+const LOCK_TYPES: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+
+/// No `Mutex`/`RwLock`/`Condvar` in `bds-bdd`: the parallel-flow design
+/// mandates private-manager sharding, not shared locked managers.
+pub struct LockRule;
+
+impl Rule for LockRule {
+    fn name(&self) -> &'static str {
+        "lock"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library && cx.rel_s.starts_with("crates/bdd/src/")
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            if LOCK_TYPES.iter().any(|t| cx.is_ident(i, t)) {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!("`{}` in the BDD engine", cx.stext(i)),
+                    "bds-bdd hot paths are lock-free by design: workers own private \
+                     managers and merge via `transfer::import` (DESIGN.md §9); move the \
+                     shared state out of the engine, or justify with \
+                     `// lint:allow(lock) — <reason>`",
+                ));
+            }
+        }
+    }
+}
+
+/// No `thread::spawn` outside the sanctioned scoped-worker modules.
+///
+/// Unscoped spawns detach from the flow's barrier discipline: the
+/// coordinator can no longer prove all workers finished before
+/// artifacts are stitched. The flow scheduler (`bds-core/src/flow.rs`)
+/// uses `std::thread::scope`, and the trace crate owns its own
+/// cross-thread tests.
+pub struct ThreadSpawnRule;
+
+impl Rule for ThreadSpawnRule {
+    fn name(&self) -> &'static str {
+        "thread-spawn"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library
+            && cx.rel_s != "crates/bds-core/src/flow.rs"
+            && !cx.rel_s.starts_with("crates/trace/")
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            if cx.is_ident(i, "thread")
+                && cx.is_path_sep(i + 1)
+                && (cx.is_ident(i + 3, "spawn") || cx.is_ident(i + 3, "Builder"))
+            {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!(
+                        "`thread::{}` outside the sanctioned worker modules",
+                        cx.stext(i + 3)
+                    ),
+                    "thread creation belongs to the scoped-worker scheduler in \
+                     bds-core `flow.rs` (barrier-at-the-end, deterministic stitching); \
+                     route work through `FlowParams::jobs`, or justify with \
+                     `// lint:allow(thread-spawn) — <reason>`",
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,276 @@
+//! Determinism lints.
+//!
+//! The parallel flow's contract is byte-identical output at any job
+//! count (DESIGN.md §9). These rules statically guard the three ways
+//! that contract historically breaks: hash-order iteration leaking
+//! into output order, thread-identity values leaking into results, and
+//! float accumulation whose rounding depends on evaluation order.
+
+use super::{determinism_critical, Diagnostic, FileCx, Rule};
+use crate::lexer::TokenKind;
+use std::collections::BTreeSet;
+
+/// Iteration methods whose order is nondeterministic on a hash
+/// collection.
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// No `HashMap`/`HashSet` iteration in determinism-critical code.
+///
+/// The rule infers which local bindings, parameters and fields hold
+/// hash collections from declarations in the same file (`name:
+/// HashMap<…>`, `let name = HashMap::new()`), then flags iteration
+/// over them (`name.iter()`, `name.keys()`, `for x in &name`, …).
+/// Lookups (`get`, `insert`, `contains_key`) stay allowed — only
+/// *order* is nondeterministic, not membership.
+pub struct IterOrderRule;
+
+impl IterOrderRule {
+    /// Collects identifiers declared with a hash-collection type or
+    /// initialised from a `HashMap::`/`HashSet::` constructor.
+    fn hash_bindings(cx: &FileCx<'_>) -> BTreeSet<String> {
+        let mut bindings = BTreeSet::new();
+        for i in 0..cx.sig.len() {
+            if !(cx.is_ident(i, "HashMap") || cx.is_ident(i, "HashSet")) {
+                continue;
+            }
+            if let Some(name) = binding_name_before(cx, i) {
+                bindings.insert(name);
+            }
+        }
+        bindings
+    }
+}
+
+/// Walks backwards from the `HashMap`/`HashSet` token at view position
+/// `i` to find the identifier it is bound to, if the declaration shape
+/// is one the rule understands:
+///
+/// * `name: HashMap<…>` / `name: &mut std::collections::HashMap<…>`
+///   (struct field, fn parameter, typed `let`), or
+/// * `name = HashMap::new()` (with or without `let`).
+fn binding_name_before(cx: &FileCx<'_>, i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        let p = j - 1;
+        // Skip path prefixes (`std :: collections ::`) and reference
+        // sigils between the colon and the type.
+        if cx.is_ident(p, "std") || cx.is_ident(p, "collections") || cx.is_ident(p, "mut") {
+            j = p;
+            continue;
+        }
+        if cx.is_punct(p, '&') {
+            j = p;
+            continue;
+        }
+        if cx.sig_tok(p).is_some_and(|t| t.kind == TokenKind::Lifetime) {
+            j = p;
+            continue;
+        }
+        if cx.is_punct(p, ':') {
+            if p > 0 && cx.is_punct(p - 1, ':') && cx.adjacent(p - 1) {
+                // `::` path separator — keep walking left.
+                j = p - 1;
+                continue;
+            }
+            // Single `:` — a type ascription; the name precedes it.
+            return ident_text(cx, p.checked_sub(1)?);
+        }
+        if cx.is_punct(p, '=') {
+            // `name = HashMap::…` — exclude `==`, `>=`, `<=`, `!=`.
+            if p > 0
+                && cx.adjacent(p - 1)
+                && ["=", "<", ">", "!", "+", "-", "*", "/"].contains(&cx.stext(p - 1))
+            {
+                return None;
+            }
+            return ident_text(cx, p.checked_sub(1)?);
+        }
+        return None;
+    }
+    None
+}
+
+fn ident_text(cx: &FileCx<'_>, i: usize) -> Option<String> {
+    cx.sig_tok(i)
+        .filter(|t| matches!(t.kind, TokenKind::Ident | TokenKind::RawIdent))
+        .map(|t| t.text(cx.text).to_string())
+}
+
+impl Rule for IterOrderRule {
+    fn name(&self) -> &'static str {
+        "iter-order"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library && determinism_critical(&cx.rel_s)
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        let bindings = Self::hash_bindings(cx);
+        if bindings.is_empty() {
+            return;
+        }
+        let help = "hash iteration order is seed-dependent and can leak into output \
+                    order; use a BTreeMap/BTreeSet, collect-and-sort before iterating, \
+                    or justify with `// lint:allow(iter-order) — <why order cannot leak>`";
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            let Some(tok) = cx.sig_tok(i) else { continue };
+            if tok.kind != TokenKind::Ident || !bindings.contains(tok.text(cx.text)) {
+                continue;
+            }
+            let name = tok.text(cx.text);
+            // `name.iter()`, `name.keys()`, … — but not `x.name.get(..)`
+            // chains where `name` is mid-chain followed by a lookup.
+            if cx.is_punct(i + 1, '.')
+                && ITER_METHODS.iter().any(|m| cx.is_ident(i + 2, m))
+                && cx.is_punct(i + 3, '(')
+            {
+                out.push(cx.diag_at(
+                    i + 2,
+                    self.name(),
+                    format!(
+                        "`{}.{}()` iterates a hash collection in determinism-critical code",
+                        name,
+                        cx.stext(i + 2)
+                    ),
+                    help,
+                ));
+                continue;
+            }
+            // `for x in &name {` / `for x in name {`.
+            let mut k = i;
+            while k > 0 && (cx.is_punct(k - 1, '&') || cx.is_ident(k - 1, "mut")) {
+                k -= 1;
+            }
+            if k > 0 && cx.is_ident(k - 1, "in") && cx.is_punct(i + 1, '{') {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!(
+                        "`for … in {name}` iterates a hash collection in \
+                         determinism-critical code"
+                    ),
+                    help,
+                ));
+            }
+        }
+    }
+}
+
+/// No thread-identity or parallelism-dependent values outside the
+/// sanctioned scheduling module.
+pub struct ThreadIdRule;
+
+impl Rule for ThreadIdRule {
+    fn name(&self) -> &'static str {
+        "thread-id"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library
+            && cx.rel_s != "crates/bds-core/src/flow.rs"
+            && !cx.rel_s.starts_with("crates/trace/")
+            && !cx.rel_s.starts_with("crates/bench/")
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        let help = "thread-count- and thread-id-dependent values are scheduling state; \
+                    keep them inside the flow scheduler (bds-core `flow.rs`) or the trace \
+                    layer, or justify with `// lint:allow(thread-id) — <reason>`";
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            if cx.is_ident(i, "available_parallelism") {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    "`available_parallelism` outside scheduling code".to_string(),
+                    help,
+                ));
+            }
+            if cx.is_ident(i, "thread") && cx.is_path_sep(i + 1) && cx.is_ident(i + 3, "current") {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    "`thread::current()` outside scheduling code".to_string(),
+                    help,
+                ));
+            }
+        }
+    }
+}
+
+/// No `as`-cast float accumulation (and no `f32` narrowing) in
+/// determinism-critical code.
+pub struct FloatCastRule;
+
+impl Rule for FloatCastRule {
+    fn name(&self) -> &'static str {
+        "float-cast"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library && determinism_critical(&cx.rel_s)
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        // Lines containing a `+=` operator.
+        let mut accum_lines = BTreeSet::new();
+        for i in 0..cx.sig.len() {
+            if cx.is_punct(i, '+') && cx.is_punct(i + 1, '=') && cx.adjacent(i) {
+                if let Some(t) = cx.sig_tok(i) {
+                    accum_lines.insert(cx.index.line_col(t.span.start).0);
+                }
+            }
+        }
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) || !cx.is_ident(i, "as") {
+                continue;
+            }
+            let is_f64 = cx.is_ident(i + 1, "f64");
+            let is_f32 = cx.is_ident(i + 1, "f32");
+            if !is_f64 && !is_f32 {
+                continue;
+            }
+            let line = cx
+                .sig_tok(i)
+                .map_or(0, |t| cx.index.line_col(t.span.start).0);
+            if is_f32 {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    "`as f32` narrowing cast in determinism-critical code".to_string(),
+                    "report fields are f64 end-to-end; narrowing rounds differently across \
+                     accumulation orders — keep f64, or justify with \
+                     `// lint:allow(float-cast) — <reason>`",
+                ));
+            } else if accum_lines.contains(&line) {
+                out.push(
+                    cx.diag_at(
+                        i,
+                        self.name(),
+                        "`as f64` cast feeding a `+=` accumulation in determinism-critical code"
+                            .to_string(),
+                        "float accumulation order changes the rounding; accumulate in integers \
+                     and convert once at the report boundary, or justify with \
+                     `// lint:allow(float-cast) — <reason>`",
+                    ),
+                );
+            }
+        }
+    }
+}

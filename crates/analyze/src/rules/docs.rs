@@ -1,0 +1,54 @@
+//! The docs rule: public items of the core crates carry doc comments.
+
+use super::{Diagnostic, FileCx, Rule};
+use crate::parser::Vis;
+
+/// Item kinds that need a doc comment when `pub`. (`use` re-exports and
+/// `impl` blocks are exempt.)
+const DOCUMENTED_KINDS: [&str; 9] = [
+    "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
+];
+
+/// Public items in `bds-bdd`, `bds-network`, `bds-trace` and
+/// `bds-analyze` carry doc comments.
+pub struct DocsRule;
+
+impl Rule for DocsRule {
+    fn name(&self) -> &'static str {
+        "docs"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library
+            && (cx.rel_s.starts_with("crates/bdd/")
+                || cx.rel_s.starts_with("crates/network/")
+                || cx.rel_s.starts_with("crates/trace/")
+                || cx.rel_s.starts_with("crates/analyze/"))
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for item in &cx.parsed.items {
+            if item.vis != Vis::Pub
+                || item.has_doc
+                || item.cfg_test
+                || !DOCUMENTED_KINDS.contains(&item.kind)
+                || cx.parsed.in_test(item.keyword_offset)
+            {
+                continue;
+            }
+            let span = (item.keyword_offset, item.keyword_offset + item.kind.len());
+            out.push(cx.diag_at_span(
+                span,
+                self.name(),
+                format!(
+                    "public {}{} is missing a doc comment",
+                    item.kind,
+                    item.name
+                        .as_deref()
+                        .map_or(String::new(), |n| format!(" `{n}`"))
+                ),
+                "document the contract, or justify with `// lint:allow(docs) — <reason>`",
+            ));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! The lint rule registry.
+//!
+//! A [`Rule`] sees one file at a time through a [`FileCx`] — the raw
+//! text, the lossless token stream, a significant-token view, the
+//! parsed item tree and a line index — and reports candidate
+//! [`Diagnostic`]s. The engine applies the suppression model
+//! afterwards, so rules never look at `lint:allow` markers themselves.
+
+use crate::diag::Diagnostic;
+use crate::files::FileClass;
+use crate::lexer::{LineIndex, Token, TokenKind};
+use crate::parser::ParsedFile;
+use std::path::Path;
+
+mod concurrency;
+mod determinism;
+mod docs;
+mod panics;
+mod timing;
+mod unsafe_root;
+
+/// Per-file context handed to every rule.
+pub struct FileCx<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a Path,
+    /// `rel` with forward slashes (for prefix predicates).
+    pub rel_s: String,
+    /// Raw source text.
+    pub text: &'a str,
+    /// Lossless token stream.
+    pub tokens: &'a [Token],
+    /// Indices into `tokens` of non-trivia tokens.
+    pub sig: &'a [usize],
+    /// Parsed item tree.
+    pub parsed: &'a ParsedFile,
+    /// Line/column lookup.
+    pub index: &'a LineIndex,
+    /// Library / crate-root classification.
+    pub class: FileClass,
+}
+
+impl FileCx<'_> {
+    /// The significant token at view position `i`, if any.
+    #[must_use]
+    pub fn sig_tok(&self, i: usize) -> Option<&Token> {
+        self.sig.get(i).map(|&t| &self.tokens[t])
+    }
+
+    /// Text of the significant token at `i` (empty past the end).
+    #[must_use]
+    pub fn stext(&self, i: usize) -> &str {
+        self.sig_tok(i).map_or("", |t| t.text(self.text))
+    }
+
+    /// True when significant token `i` is an identifier equal to `s`.
+    #[must_use]
+    pub fn is_ident(&self, i: usize, s: &str) -> bool {
+        self.sig_tok(i)
+            .is_some_and(|t| t.kind == TokenKind::Ident && t.text(self.text) == s)
+    }
+
+    /// True when significant token `i` is the punctuation byte `c`.
+    #[must_use]
+    pub fn is_punct(&self, i: usize, c: char) -> bool {
+        self.sig_tok(i)
+            .is_some_and(|t| t.kind == TokenKind::Punct && t.text(self.text).starts_with(c))
+    }
+
+    /// True when significant tokens `i` and `i + 1` touch byte-to-byte
+    /// (used to tell `::` from `:` `:` across other text).
+    #[must_use]
+    pub fn adjacent(&self, i: usize) -> bool {
+        match (self.sig_tok(i), self.sig_tok(i + 1)) {
+            (Some(a), Some(b)) => a.span.end == b.span.start,
+            _ => false,
+        }
+    }
+
+    /// True when significant tokens `i..i+2` form a `::`.
+    #[must_use]
+    pub fn is_path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':') && self.adjacent(i)
+    }
+
+    /// True when the significant token at `i` sits inside a
+    /// `#[cfg(test)]` region.
+    #[must_use]
+    pub fn in_test(&self, i: usize) -> bool {
+        self.sig_tok(i)
+            .is_some_and(|t| self.parsed.in_test(t.span.start))
+    }
+
+    /// Builds a diagnostic anchored at significant token `i`.
+    #[must_use]
+    pub fn diag_at(&self, i: usize, rule: &'static str, message: String, help: &str) -> Diagnostic {
+        let span = self
+            .sig_tok(i)
+            .map_or((0, 0), |t| (t.span.start, t.span.end));
+        self.diag_at_span(span, rule, message, help)
+    }
+
+    /// Builds a diagnostic anchored at a byte span.
+    #[must_use]
+    pub fn diag_at_span(
+        &self,
+        span: (usize, usize),
+        rule: &'static str,
+        message: String,
+        help: &str,
+    ) -> Diagnostic {
+        let (line, col) = self.index.line_col(span.0);
+        Diagnostic {
+            rule,
+            path: self.rel.to_path_buf(),
+            line,
+            col,
+            span,
+            message,
+            help: help.to_string(),
+        }
+    }
+}
+
+/// One lint rule.
+pub trait Rule {
+    /// The rule's name as used in reports and `lint:allow(...)`.
+    fn name(&self) -> &'static str;
+    /// Whether the rule runs on this file at all.
+    fn applies(&self, cx: &FileCx<'_>) -> bool;
+    /// Scan the file and append candidate diagnostics.
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// The full rule suite, in reporting order.
+#[must_use]
+pub fn registry() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(panics::PanicRule),
+        Box::new(panics::PrintRule),
+        Box::new(docs::DocsRule),
+        Box::new(timing::InstantRule),
+        Box::new(determinism::IterOrderRule),
+        Box::new(determinism::ThreadIdRule),
+        Box::new(determinism::FloatCastRule),
+        Box::new(concurrency::StaticMutRule),
+        Box::new(concurrency::LockRule),
+        Box::new(concurrency::ThreadSpawnRule),
+        Box::new(unsafe_root::ForbidUnsafeRule),
+    ]
+}
+
+/// Crates whose non-test code is determinism-critical: they feed the
+/// byte-identical-BLIF contract of the parallel flow.
+pub(crate) fn determinism_critical(rel_s: &str) -> bool {
+    rel_s.starts_with("crates/bdd/src/")
+        || rel_s.starts_with("crates/network/src/")
+        || rel_s.starts_with("crates/bds-core/src/")
+}

@@ -1,0 +1,93 @@
+//! The panic and print rules.
+//!
+//! Library code must return errors rather than panic, and must return
+//! data rather than write to the console. `assert!`/`debug_assert!`
+//! stay allowed: stating invariants is encouraged.
+
+use super::{Diagnostic, FileCx, Rule};
+
+/// Panicking method calls banned from library code (matched as
+/// `.name(`).
+const PANIC_METHODS: [&str; 3] = ["unwrap", "expect", "unwrap_unchecked"];
+
+/// Panicking macros banned from library code (matched as `name!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// No `unwrap()`/`expect()`/`unwrap_unchecked()`/`panic!`/
+/// `unreachable!`/`todo!`/`unimplemented!` in library code.
+pub struct PanicRule;
+
+impl Rule for PanicRule {
+    fn name(&self) -> &'static str {
+        "panic"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            // `.unwrap(` / `.expect(` / `.unwrap_unchecked(`.
+            if i > 0
+                && cx.is_punct(i - 1, '.')
+                && PANIC_METHODS.iter().any(|m| cx.is_ident(i, m))
+                && cx.is_punct(i + 1, '(')
+            {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!("`{}()` in library code", cx.stext(i)),
+                    "return an error instead, or justify with `// lint:allow(panic) — <reason>`",
+                ));
+            }
+            // `panic!(` / `unreachable!(` / `todo!(` / `unimplemented!(`.
+            if PANIC_MACROS.iter().any(|m| cx.is_ident(i, m))
+                && cx.is_punct(i + 1, '!')
+                && (cx.is_punct(i + 2, '(') || cx.is_punct(i + 2, '[') || cx.is_punct(i + 2, '{'))
+            {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!("`{}!` in library code", cx.stext(i)),
+                    "return an error instead, or justify with `// lint:allow(panic) — <reason>`",
+                ));
+            }
+        }
+    }
+}
+
+/// Console macros banned from library code.
+const PRINT_MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
+
+/// No `println!`/`eprintln!`/`print!`/`eprint!` in library code.
+pub struct PrintRule;
+
+impl Rule for PrintRule {
+    fn name(&self) -> &'static str {
+        "print"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            if PRINT_MACROS.iter().any(|m| cx.is_ident(i, m)) && cx.is_punct(i + 1, '!') {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!("`{}!` in library code", cx.stext(i)),
+                    "return data instead, or justify with `// lint:allow(print) — <reason>`",
+                ));
+            }
+        }
+    }
+}

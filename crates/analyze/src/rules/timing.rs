@@ -1,0 +1,46 @@
+//! The instant rule: wall-clock reads stay observable.
+//!
+//! Instrumented crates time through `bds_trace::Stopwatch` / `span!`
+//! so every wall-clock read lands in a report; a raw `Instant::now()`
+//! is invisible to the trace layer, and `SystemTime::now()` is
+//! additionally non-monotonic, so both are banned outside the crates
+//! that implement the timing primitives.
+
+use super::{Diagnostic, FileCx, Rule};
+
+/// No direct `Instant::now()` / `SystemTime::now()` outside `bds-trace`
+/// and `bds-bench`.
+pub struct InstantRule;
+
+impl Rule for InstantRule {
+    fn name(&self) -> &'static str {
+        "instant"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library
+            && !cx.rel_s.starts_with("crates/trace/")
+            && !cx.rel_s.starts_with("crates/bench/")
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            if (cx.is_ident(i, "Instant") || cx.is_ident(i, "SystemTime"))
+                && cx.is_path_sep(i + 1)
+                && cx.is_ident(i + 3, "now")
+                && cx.is_punct(i + 4, '(')
+            {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!("direct `{}::now()` in an instrumented crate", cx.stext(i)),
+                    "time through `bds_trace::Stopwatch`/`span!` so the read is observable, \
+                     or justify with `// lint:allow(instant) — <reason>`",
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! The forbid-unsafe rule: every crate root locks out `unsafe`.
+
+use super::{Diagnostic, FileCx, Rule};
+
+/// Every crate root declares `#![forbid(unsafe_code)]`.
+pub struct ForbidUnsafeRule;
+
+impl Rule for ForbidUnsafeRule {
+    fn name(&self) -> &'static str {
+        "forbid-unsafe"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.crate_root
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        if !cx.parsed.forbids_unsafe() {
+            out.push(cx.diag_at_span(
+                (0, 0),
+                self.name(),
+                "crate root must declare #![forbid(unsafe_code)]".to_string(),
+                "",
+            ));
+        }
+    }
+}

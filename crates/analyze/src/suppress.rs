@@ -1,0 +1,252 @@
+//! The audited suppression model.
+//!
+//! A lint finding can be silenced in place with a justification
+//! comment — `// lint:allow(<rule>) — <reason>` on the same or the
+//! preceding line — or for a whole file with
+//! `// lint:allow-file(<rule>): <reason>`. Markers are parsed from
+//! *plain comment tokens* (never from doc comments or string
+//! literals), are span-anchored,
+//! and are themselves audited: a marker that suppresses nothing is a
+//! `stale-allow` violation, and a marker without a written reason is
+//! an `allow-justification` violation. An allow can therefore never
+//! silently outlive the code it excused.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{LineIndex, Token, TokenKind};
+use std::path::Path;
+
+/// One parsed `lint:allow` marker.
+#[derive(Debug, Clone)]
+pub struct AllowMarker {
+    /// The rule this marker silences.
+    pub rule: String,
+    /// 1-based line the marker comment starts on.
+    pub line: usize,
+    /// Byte span of the comment token carrying the marker.
+    pub span: (usize, usize),
+    /// True for `lint:allow-file(...)`.
+    pub file_level: bool,
+    /// True when a non-empty reason follows the marker.
+    pub has_reason: bool,
+}
+
+/// Extracts every `lint:allow(...)` / `lint:allow-file(...)` marker
+/// from the comment tokens of a file.
+#[must_use]
+pub fn collect_markers(src: &str, tokens: &[Token], index: &LineIndex) -> Vec<AllowMarker> {
+    let mut out = Vec::new();
+    // Markers live in *plain* comments only. Doc comments are part of the
+    // item's public documentation and routinely *describe* the marker
+    // syntax; treating them as markers would make this module lint itself.
+    let plain = |t: &&Token| matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment);
+    for tok in tokens.iter().filter(plain) {
+        let text = tok.text(src);
+        for (needle, file_level) in [("lint:allow-file(", true), ("lint:allow(", false)] {
+            let mut from = 0;
+            while let Some(pos) = text[from..].find(needle) {
+                let at = from + pos;
+                let body_start = at + needle.len();
+                let Some(close) = text[body_start..].find(')') else {
+                    from = at + needle.len();
+                    continue;
+                };
+                let rule = text[body_start..body_start + close].trim().to_string();
+                let rest = &text[body_start + close + 1..];
+                let reason = rest
+                    .trim_start_matches(|c: char| {
+                        c.is_whitespace() || c == '—' || c == '-' || c == ':' || c == ','
+                    })
+                    .trim();
+                let marker_offset = tok.span.start;
+                let (line, _) = index.line_col(marker_offset);
+                if !rule.is_empty() {
+                    out.push(AllowMarker {
+                        rule,
+                        line,
+                        span: (tok.span.start + at, tok.span.start + body_start + close + 1),
+                        file_level,
+                        has_reason: !reason.is_empty(),
+                    });
+                }
+                from = body_start + close + 1;
+            }
+        }
+    }
+    // (`lint:allow(` cannot match inside `lint:allow-file(` — the `-`
+    // breaks the substring — so no dedup is needed.)
+    out.sort_by_key(|m| m.span);
+    out
+}
+
+/// Applies `markers` to candidate `diags` for one file.
+///
+/// Returns the diagnostics that survive. Suppressed candidates mark
+/// their marker as used; afterwards every unused marker and every
+/// reason-less marker is converted into its own diagnostic
+/// (`stale-allow` / `allow-justification`).
+#[must_use]
+pub fn apply(
+    rel: &Path,
+    markers: &[AllowMarker],
+    diags: Vec<Diagnostic>,
+    audit_stale: bool,
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; markers.len()];
+    let mut kept = Vec::new();
+    for d in diags {
+        let mut suppressed = false;
+        for (mi, m) in markers.iter().enumerate() {
+            if m.rule != d.rule {
+                continue;
+            }
+            if m.file_level || m.line == d.line || m.line + 1 == d.line {
+                used[mi] = true;
+                suppressed = true;
+                // Keep scanning so a same-line marker and a
+                // preceding-line marker are both credited.
+            }
+        }
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    for (mi, m) in markers.iter().enumerate() {
+        if audit_stale && !used[mi] {
+            kept.push(Diagnostic {
+                rule: "stale-allow",
+                path: rel.to_path_buf(),
+                line: m.line,
+                col: 1,
+                span: m.span,
+                message: format!(
+                    "`lint:allow{}({})` no longer suppresses anything",
+                    if m.file_level { "-file" } else { "" },
+                    m.rule
+                ),
+                help: "the violation it excused is gone; delete the marker".to_string(),
+            });
+        }
+        if used[mi] && !m.has_reason {
+            kept.push(Diagnostic {
+                rule: "allow-justification",
+                path: rel.to_path_buf(),
+                line: m.line,
+                col: 1,
+                span: m.span,
+                message: format!(
+                    "`lint:allow{}({})` has no written justification",
+                    if m.file_level { "-file" } else { "" },
+                    m.rule
+                ),
+                help: "append the reason: `// lint:allow(rule) — <why this is sound>`".to_string(),
+            });
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, LineIndex};
+    use std::path::PathBuf;
+
+    fn markers_of(src: &str) -> Vec<AllowMarker> {
+        collect_markers(src, &lex(src), &LineIndex::new(src))
+    }
+
+    fn diag(rule: &'static str, line: usize) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: PathBuf::from("crates/demo/src/lib.rs"),
+            line,
+            col: 1,
+            span: (0, 0),
+            message: "x".to_string(),
+            help: String::new(),
+        }
+    }
+
+    #[test]
+    fn parses_line_and_file_markers() {
+        let src = "// lint:allow-file(print): CLI by design\nfn f() {\n    // lint:allow(panic) — guarded\n    x();\n}\n";
+        let ms = markers_of(src);
+        assert_eq!(ms.len(), 2);
+        assert!(ms[0].file_level && ms[0].rule == "print" && ms[0].has_reason);
+        assert!(!ms[1].file_level && ms[1].rule == "panic" && ms[1].has_reason);
+        assert_eq!(ms[1].line, 3);
+    }
+
+    #[test]
+    fn marker_in_string_literal_is_ignored() {
+        let src = "fn f() { let s = \"lint:allow(panic) — nope\"; }\n";
+        assert!(markers_of(src).is_empty());
+    }
+
+    #[test]
+    fn suppresses_same_and_next_line() {
+        let src = "fn f() {\n    // lint:allow(panic) — guarded\n    x.unwrap();\n}\n";
+        let ms = markers_of(src);
+        let kept = apply(
+            Path::new("crates/demo/src/lib.rs"),
+            &ms,
+            vec![diag("panic", 3)],
+            true,
+        );
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn stale_marker_is_a_violation() {
+        let src = "fn f() {\n    // lint:allow(panic) — guarded\n    x();\n}\n";
+        let ms = markers_of(src);
+        let kept = apply(Path::new("crates/demo/src/lib.rs"), &ms, Vec::new(), true);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "stale-allow");
+        assert_eq!(kept[0].line, 2);
+    }
+
+    #[test]
+    fn reasonless_marker_is_a_violation() {
+        let src = "fn f() {\n    // lint:allow(panic)\n    x.unwrap();\n}\n";
+        let ms = markers_of(src);
+        assert!(!ms[0].has_reason);
+        let kept = apply(
+            Path::new("crates/demo/src/lib.rs"),
+            &ms,
+            vec![diag("panic", 3)],
+            true,
+        );
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].rule, "allow-justification");
+    }
+
+    #[test]
+    fn file_level_suppresses_everywhere() {
+        let src = "// lint:allow-file(panic): generator code\nfn f() {}\n";
+        let ms = markers_of(src);
+        let kept = apply(
+            Path::new("crates/demo/src/lib.rs"),
+            &ms,
+            vec![diag("panic", 40), diag("panic", 90)],
+            true,
+        );
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    fn wrong_rule_does_not_suppress() {
+        let src = "fn f() {\n    // lint:allow(print) — console tool\n    x.unwrap();\n}\n";
+        let ms = markers_of(src);
+        let kept = apply(
+            Path::new("crates/demo/src/lib.rs"),
+            &ms,
+            vec![diag("panic", 3)],
+            true,
+        );
+        // The panic diagnostic survives and the print marker is stale.
+        assert_eq!(kept.len(), 2);
+        assert!(kept.iter().any(|d| d.rule == "panic"));
+        assert!(kept.iter().any(|d| d.rule == "stale-allow"));
+    }
+}

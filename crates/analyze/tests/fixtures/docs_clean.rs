@@ -1,0 +1,3 @@
+//@path: crates/bdd/src/demo.rs
+/// Does nothing, visibly.
+pub fn visible() {}

@@ -1,0 +1,2 @@
+//@path: crates/bdd/src/demo.rs
+pub fn visible() {}

@@ -1,0 +1,4 @@
+//@path: crates/bdd/src/demo.rs
+fn ratio(num: u64, den: u64) -> f64 {
+    num as f64 / den as f64
+}

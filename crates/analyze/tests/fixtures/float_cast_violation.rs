@@ -1,0 +1,4 @@
+//@path: crates/bdd/src/demo.rs
+fn ratio(num: u64, den: u64) -> f32 {
+    num as f32 / den as f32
+}

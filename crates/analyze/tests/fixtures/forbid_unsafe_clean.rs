@@ -1,0 +1,6 @@
+//@path: crates/demo/src/lib.rs
+//! Demo crate root.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

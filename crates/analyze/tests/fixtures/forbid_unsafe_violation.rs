@@ -1,0 +1,4 @@
+//@path: crates/demo/src/lib.rs
+//! Demo crate root missing the workspace unsafe forbid.
+
+pub fn noop() {}

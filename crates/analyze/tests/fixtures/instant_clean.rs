@@ -1,0 +1,5 @@
+//@path: crates/bench/src/demo.rs
+fn stamp() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}

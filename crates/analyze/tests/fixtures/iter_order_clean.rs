@@ -1,0 +1,6 @@
+//@path: crates/bdd/src/demo.rs
+use std::collections::BTreeMap;
+
+fn dump(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

@@ -1,0 +1,6 @@
+//@path: crates/bdd/src/demo.rs
+use std::collections::HashMap;
+
+fn dump(m: &HashMap<u32, u32>) -> Vec<u32> {
+    m.keys().copied().collect()
+}

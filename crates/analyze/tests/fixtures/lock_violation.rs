@@ -1,0 +1,4 @@
+//@path: crates/bdd/src/demo.rs
+use std::sync::Mutex;
+
+static TABLE: Mutex<Vec<u32>> = Mutex::new(Vec::new());

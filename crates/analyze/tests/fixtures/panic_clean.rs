@@ -1,0 +1,12 @@
+//@path: crates/bdd/src/demo.rs
+fn first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::first(&[1]).unwrap(), 1);
+    }
+}

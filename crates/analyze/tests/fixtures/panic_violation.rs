@@ -1,0 +1,8 @@
+//@path: crates/bdd/src/demo.rs
+fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+fn later() {
+    todo!()
+}

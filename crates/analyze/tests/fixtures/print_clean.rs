@@ -1,0 +1,4 @@
+//@path: crates/network/src/demo.rs
+fn report(n: usize) -> String {
+    format!("{n} nodes")
+}

@@ -1,0 +1,5 @@
+//@path: crates/bdd/src/demo.rs
+fn first(v: &[u32]) -> u32 {
+    // lint:allow(panic) — demo: callers guarantee a non-empty slice
+    *v.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//@path: crates/bdd/src/demo.rs
+// lint:allow(panic) — excused an unwrap that has since been removed
+fn safe(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

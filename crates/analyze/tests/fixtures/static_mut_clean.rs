@@ -1,0 +1,2 @@
+//@path: crates/bdd/src/demo.rs
+static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);

@@ -1,0 +1,2 @@
+//@path: crates/bdd/src/demo.rs
+static mut COUNTER: u64 = 0;

@@ -1,0 +1,4 @@
+//@path: crates/bds-core/src/flow.rs
+fn width() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,0 +1,4 @@
+//@path: crates/bds-core/src/flow.rs
+fn fire() {
+    std::thread::spawn(|| {});
+}

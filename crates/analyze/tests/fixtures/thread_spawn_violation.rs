@@ -1,0 +1,4 @@
+//@path: crates/bdd/src/demo.rs
+fn fire() {
+    std::thread::spawn(|| {});
+}

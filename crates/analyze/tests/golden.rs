@@ -1,0 +1,204 @@
+//! Golden-file tests for the rule fixtures.
+//!
+//! Every `tests/fixtures/<rule>_violation.rs` is analyzed under a
+//! pretend workspace path (the `//@path: <rel>` directive on its first
+//! line) and its rendered report must match
+//! `tests/fixtures/<rule>_violation.golden` byte-for-byte. Every
+//! `<rule>_clean.rs` must produce zero diagnostics. The manifest
+//! fixture trees under `tests/fixtures/manifests/` exercise the
+//! feature-graph checker the same way.
+//!
+//! Regenerate goldens after an intentional output change with
+//! `BDS_ANALYZE_BLESS=1 cargo test -p bds-analyze --test golden`.
+
+#![forbid(unsafe_code)]
+
+use bds_analyze::{analyze_source_default, features, Report};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn bless() -> bool {
+    std::env::var_os("BDS_ANALYZE_BLESS").is_some()
+}
+
+/// Reads the `//@path: <rel>` directive off the fixture's first line.
+fn pretend_path(text: &str, fixture: &Path) -> PathBuf {
+    let first = text.lines().next().unwrap_or("");
+    let rel = first
+        .strip_prefix("//@path: ")
+        .unwrap_or_else(|| panic!("{} must start with `//@path: <rel>`", fixture.display()));
+    PathBuf::from(rel.trim())
+}
+
+fn report_for(fixture: &Path) -> Report {
+    let text = fs::read_to_string(fixture).expect("read fixture");
+    let rel = pretend_path(&text, fixture);
+    let mut diagnostics = analyze_source_default(&rel, &text);
+    diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    Report {
+        diagnostics,
+        files_checked: 1,
+        manifests_checked: 0,
+    }
+}
+
+fn check_against_golden(actual: &str, golden_path: &Path) {
+    if bless() {
+        fs::write(golden_path, actual).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(golden_path)
+        .unwrap_or_else(|_| panic!("missing golden {}", golden_path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "output diverged from {} (re-bless with BDS_ANALYZE_BLESS=1 if intentional)",
+        golden_path.display()
+    );
+}
+
+fn fixture_files(suffix: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(fixtures_dir())
+        .expect("fixtures dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(suffix))
+        })
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "no {suffix} fixtures found");
+    out
+}
+
+#[test]
+fn violation_fixtures_match_goldens() {
+    for fixture in fixture_files("_violation.rs") {
+        let report = report_for(&fixture);
+        assert!(
+            !report.is_clean(),
+            "{} was expected to violate its rule but came back clean",
+            fixture.display()
+        );
+        check_against_golden(&report.render_text(), &fixture.with_extension("golden"));
+    }
+}
+
+#[test]
+fn clean_fixtures_are_clean() {
+    for fixture in fixture_files("_clean.rs") {
+        let report = report_for(&fixture);
+        assert!(
+            report.is_clean(),
+            "{} was expected to be clean but produced:\n{}",
+            fixture.display(),
+            report.render_text()
+        );
+    }
+}
+
+/// Every rule named by the registry has both a clean and a violation
+/// fixture, and every violation golden actually names its rule.
+#[test]
+fn every_rule_has_fixture_coverage() {
+    let rules = [
+        "panic",
+        "print",
+        "docs",
+        "instant",
+        "iter-order",
+        "thread-id",
+        "float-cast",
+        "static-mut",
+        "lock",
+        "thread-spawn",
+        "forbid-unsafe",
+        "stale-allow",
+        "allow-justification",
+    ];
+    for rule in rules {
+        let stem = rule.replace('-', "_");
+        let dir = fixtures_dir();
+        assert!(
+            dir.join(format!("{stem}_clean.rs")).exists(),
+            "missing clean fixture for rule `{rule}`"
+        );
+        let violation = dir.join(format!("{stem}_violation.rs"));
+        assert!(
+            violation.exists(),
+            "missing violation fixture for rule `{rule}`"
+        );
+        let report = report_for(&violation);
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule),
+            "violation fixture for `{rule}` does not trigger it; got:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest (feature-graph) fixtures
+// ---------------------------------------------------------------------------
+
+fn manifest_paths(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    let mut crates: Vec<PathBuf> = fs::read_dir(root.join("crates"))
+        .expect("crates dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path().join("Cargo.toml"))
+        .filter(|p| p.exists())
+        .collect();
+    crates.sort();
+    out.extend(crates);
+    out
+}
+
+#[test]
+fn manifest_clean_tree_is_clean() {
+    let root = fixtures_dir().join("manifests/clean");
+    let (diags, parsed) = features::check_manifests(&root, &manifest_paths(&root));
+    assert_eq!(parsed, 6, "expected all six fixture manifests to parse");
+    assert!(
+        diags.is_empty(),
+        "clean manifest tree produced:\n{}",
+        diags
+            .iter()
+            .map(bds_analyze::Diagnostic::render_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn manifest_violation_tree_matches_golden() {
+    let root = fixtures_dir().join("manifests/violation");
+    let (mut diags, parsed) = features::check_manifests(&root, &manifest_paths(&root));
+    assert_eq!(parsed, 6, "expected all six fixture manifests to parse");
+    diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    let report = Report {
+        diagnostics: diags,
+        files_checked: 0,
+        manifests_checked: parsed,
+    };
+    assert!(
+        !report.is_clean(),
+        "violation manifest tree came back clean"
+    );
+    for rule in ["external-dep", "feature-chain", "feature-default-off"] {
+        assert!(
+            report.diagnostics.iter().any(|d| d.rule == rule),
+            "manifest violation tree does not trigger `{rule}`; got:\n{}",
+            report.render_text()
+        );
+    }
+    check_against_golden(
+        &report.render_text(),
+        &fixtures_dir().join("manifests/violation.golden"),
+    );
+}

@@ -1,0 +1,122 @@
+//! Lexer span invariants, checked two ways:
+//!
+//! 1. Over every real `.rs` file in this workspace: tokens must tile
+//!    the file exactly (concatenating `text[span]` reproduces the
+//!    source byte-for-byte) and every token's span round-trips.
+//! 2. As a property test over randomized token soup (including
+//!    deliberately malformed fragments): the lexer must stay lossless
+//!    and infallible on arbitrary input, not just on code that
+//!    compiles.
+
+#![forbid(unsafe_code)]
+
+use bds_analyze::files::collect_workspace;
+use bds_analyze::lexer::{lex, LineIndex};
+use bds_prop::{check_cases, Rng};
+use std::path::Path;
+
+/// Asserts the two span invariants for one source text.
+fn assert_roundtrip(label: &str, text: &str) {
+    let tokens = lex(text);
+    let mut offset = 0;
+    for (i, tok) in tokens.iter().enumerate() {
+        assert_eq!(
+            tok.span.start,
+            offset,
+            "{label}: token {i} ({:?}) does not start where token {} ended",
+            tok.kind,
+            i.wrapping_sub(1)
+        );
+        assert!(
+            tok.span.end >= tok.span.start && tok.span.end <= text.len(),
+            "{label}: token {i} span {:?} escapes the file",
+            tok.span
+        );
+        // The span must round-trip through the original text.
+        assert_eq!(
+            tok.text(text),
+            &text[tok.span.start..tok.span.end],
+            "{label}: token {i} text does not match its span"
+        );
+        offset = tok.span.end;
+    }
+    assert_eq!(
+        offset,
+        text.len(),
+        "{label}: tokens do not tile the file (stopped at byte {offset})"
+    );
+    let rebuilt: String = tokens.iter().map(|t| t.text(text)).collect();
+    assert_eq!(rebuilt, text, "{label}: concatenated tokens != source");
+    // Every span start must map to a valid 1-based position.
+    let index = LineIndex::new(text);
+    for tok in &tokens {
+        let (line, col) = index.line_col(tok.span.start);
+        assert!(line >= 1 && col >= 1, "{label}: non-1-based line/col");
+    }
+}
+
+#[test]
+fn every_workspace_file_roundtrips() {
+    // crates/analyze → workspace root is two levels up.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let ws = collect_workspace(root);
+    assert!(
+        ws.sources.len() > 50,
+        "workspace walk looks broken: only {} files",
+        ws.sources.len()
+    );
+    for src in &ws.sources {
+        let text = std::fs::read_to_string(&src.abs).expect("read source");
+        assert_roundtrip(&src.rel.display().to_string(), &text);
+    }
+}
+
+/// Fragments the generator stitches together. Deliberately includes
+/// unterminated strings/comments and stray quotes: the lexer must be
+/// total on malformed input, degrading to a run-to-EOF token rather
+/// than panicking or losing bytes.
+const FRAGMENTS: &[&str] = &[
+    "fn f() {}",
+    "let x = 1_000u64;",
+    "0xFFp",
+    "1.5e-3",
+    "1.",
+    "// line comment\n",
+    "/* block /* nested */ comment */",
+    "/* unterminated",
+    "/// doc\n",
+    "//! inner doc\n",
+    "\"string with \\\" escape\"",
+    "\"unterminated",
+    "r#\"raw \" string\"#",
+    "r#\"unterminated raw",
+    "b\"bytes\"",
+    "'c'",
+    "'\\n'",
+    "'lifetime",
+    "r#ident",
+    "ident_1",
+    "::<>(){}[];,.#!&|'",
+    "→ unicode § text",
+    "'",
+    "\\",
+];
+
+#[test]
+fn random_token_soup_roundtrips() {
+    check_cases("lexer-span-roundtrip", 300, |rng: &mut Rng| {
+        let pieces = rng.range_usize(0..12);
+        let mut text = String::new();
+        for _ in 0..pieces {
+            let frag: &&str = rng.choose(FRAGMENTS);
+            text.push_str(frag);
+            if rng.bool() {
+                text.push(' ');
+            }
+        }
+        assert_roundtrip("token-soup", &text);
+    });
+}

@@ -47,6 +47,7 @@ impl Manager {
             stack.push(n.high.node());
             stack.push(n.low.node());
         }
+        // lint:allow(iter-order) — collected and sort_unstable'd just below
         let mut lv: Vec<u32> = levels.into_iter().collect();
         lv.sort_unstable();
         lv.into_iter().map(|l| self.var_at(l)).collect()
@@ -58,6 +59,7 @@ impl Manager {
         for &r in roots {
             set.extend(self.support(r));
         }
+        // lint:allow(iter-order) — collected, then sorted by level (unique per var)
         let mut v: Vec<Var> = set.into_iter().collect();
         v.sort_by_key(|&var| self.level_of(var));
         v

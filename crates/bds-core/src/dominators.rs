@@ -7,7 +7,7 @@
 //! * An **x-dominator** (Definition 9) is a *node* contained in every
 //!   path ⇒ algebraic XNOR decomposition `F = G ⊙ H` (Theorem 5).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bds_bdd::{Edge, Manager};
 
@@ -77,7 +77,8 @@ pub fn x_dominators(mgr: &Manager, f: Edge, info: &PathInfo) -> Vec<Edge> {
         return Vec::new();
     }
     let total = info.totals.0.saturating_add(info.totals.1);
-    let mut per_node: HashMap<Edge, u64> = HashMap::new();
+    // BTreeMap: level ties below must break by Edge, not by hash order.
+    let mut per_node: BTreeMap<Edge, u64> = BTreeMap::new();
     for &v in &info.order {
         let (p1, p0) = info.paths_through(v);
         let slot = per_node.entry(v.regular()).or_insert(0);

@@ -123,8 +123,10 @@ fn minimize_node(
 
     // Build each fanin's function over the window variables.
     let mut value: HashMap<SignalId, Edge> = HashMap::new();
-    for (&w, &v) in &var_of {
-        value.insert(w, mgr.literal_checked(v, true).ok()?);
+    // Walk `window` (not `var_of`): literal nodes must be allocated in a
+    // deterministic order or manager node indices become run-dependent.
+    for &w in &window {
+        value.insert(w, mgr.literal_checked(var_of[&w], true).ok()?);
     }
     for s in net.topo_order() {
         if value.contains_key(&s) || net.node(s).is_none() {

@@ -9,7 +9,7 @@
 //! is preserved, with the *same* network substrate and the *same*
 //! technology mapper downstream.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use bds_bdd::Manager;
 use bds_network::{EliminateCost, EliminateParams, Network, NetworkError, SignalId};
@@ -208,7 +208,9 @@ fn extract_divisors(net: &mut Network, params: &SisParams) -> Result<usize, Netw
     let mut extracted = 0;
     for _ in 0..params.max_extractions {
         // Gather candidate divisors in signal space.
-        let mut candidates: HashMap<Vec<Cube>, Cover> = HashMap::new();
+        // BTreeMap: the best-candidate scan below breaks score ties by
+        // taking the first hit, so iteration order must be canonical.
+        let mut candidates: BTreeMap<Vec<Cube>, Cover> = BTreeMap::new();
         let node_ids = net.node_ids();
         for &sig in &node_ids {
             let Some(cover) = signal_cover(net, sig) else {

@@ -8,7 +8,7 @@
 //! complement *and* one regular edge, which is where the BDD's
 //! complement-edge structure concentrates its XOR behaviour.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 use bds_bdd::{Edge, Manager};
 
@@ -22,7 +22,9 @@ pub fn generalized_x_dominators(mgr: &Manager, f: Edge) -> Vec<Edge> {
         return Vec::new();
     }
     // refs[node] = (has_regular_ref, has_complement_ref)
-    let mut refs: HashMap<Edge, (bool, bool)> = HashMap::new();
+    // BTreeMap: level ties in the final sort must break by Edge, not by
+    // hash order.
+    let mut refs: BTreeMap<Edge, (bool, bool)> = BTreeMap::new();
     let mut mark = |e: Edge| {
         if !e.is_const() {
             let slot = refs.entry(e.regular()).or_insert((false, false));

@@ -14,7 +14,6 @@
 //! current run against an earlier `--json` report (any bench), matching
 //! circuits by name through the hand-rolled [`bds_trace::json`] parser.
 
-// lint:allow-file(panic): benchmark setup aborts loudly on broken fixtures by design
 // lint:allow-file(print): experiment binaries report to the console by design
 
 use std::path::Path;

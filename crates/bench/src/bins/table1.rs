@@ -6,7 +6,6 @@
 //! (set `BDS_TABLE1_FAST=1` to shrink the circuit sizes for smoke runs;
 //! debug builds default to the fast set — override with `BDS_TABLE1_FULL=1`).
 
-// lint:allow-file(panic): benchmark setup aborts loudly on broken fixtures by design
 // lint:allow-file(print): experiment binaries report to the console by design
 
 use std::process::ExitCode;

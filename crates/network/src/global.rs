@@ -103,7 +103,13 @@ impl Network {
         var_of: &HashMap<SignalId, Var>,
     ) -> Result<Vec<Edge>> {
         let mut value: HashMap<SignalId, Edge> = HashMap::new();
-        for (&sig, &var) in var_of {
+        // Sort by variable before touching the manager: literal nodes must
+        // be allocated in a deterministic order or node indices become
+        // run-dependent.
+        // lint:allow(iter-order) — collected into `pairs`, sorted by Var below
+        let mut pairs: Vec<(SignalId, Var)> = var_of.iter().map(|(&s, &v)| (s, v)).collect();
+        pairs.sort_unstable_by_key(|&(_, v)| v);
+        for (sig, var) in pairs {
             let lit = mgr.literal_checked(var, true)?;
             value.insert(sig, lit);
         }

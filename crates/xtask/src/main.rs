@@ -2,25 +2,18 @@
 //!
 //! Three subcommands:
 //!
-//! * `cargo xtask lint` — custom static checks that `rustc`/`clippy` do
-//!   not cover for this workspace:
-//!   1. no `unwrap()`/`expect()`/`panic!()`/`unreachable!()`/`todo!()`/
-//!      `unimplemented!()` in **library** code (test modules, `tests/`,
-//!      `benches/`, `examples/` and `src/bin/` are exempt) unless the
-//!      line or its predecessor carries a `// lint:allow(panic)`
-//!      justification,
-//!   2. every crate root declares `#![forbid(unsafe_code)]`,
-//!   3. no `println!`/`eprintln!`/`print!`/`eprint!` in library code
-//!      (escape hatch: `// lint:allow(print)`),
-//!   4. public items in `bds-bdd`, `bds-network` and `bds-trace` carry
-//!      doc comments,
-//!   5. no direct `Instant::now()` or `SystemTime::now()` outside
-//!      `bds-trace` and `bds-bench` — instrumented crates time through
-//!      `bds_trace::Stopwatch`/`span!` so wall-clock reads stay
-//!      observable (escape hatch: `// lint:allow(instant)`).
-//!
-//!   Violations are reported as `path:line: [rule] message` and the
-//!   process exits nonzero.
+//! * `cargo xtask lint [--json <path>]` — the custom workspace lints,
+//!   implemented by the in-tree static analyzer (`crates/analyze`,
+//!   DESIGN.md §10): a real lexer + item parser feeding a rule
+//!   registry (panic/print/docs/instant, the determinism suite
+//!   iter-order/thread-id/float-cast, the concurrency suite
+//!   static-mut/lock/thread-spawn, forbid-unsafe), audited
+//!   `lint:allow` suppressions (a stale or reason-less allow is itself
+//!   a violation), and a Cargo feature-graph checker (zero external
+//!   dependencies, `trace` chain intact and default-off). Violations
+//!   render as `path:line:col: [rule] message` and the process exits
+//!   nonzero; `--json` additionally writes the schema-stable
+//!   `bds-analyze-report/v1` report for CI artifacts.
 //!
 //! * `cargo xtask ci` — the full local gate: `cargo fmt --check`, then
 //!   `cargo clippy --workspace --all-targets -- -D warnings`, then the
@@ -40,9 +33,6 @@
 //!   (only wall time may differ between thread counts). Zero matched circuits is also a failure: a gate
 //!   that compares nothing protects nothing. The fresh report is left at
 //!   `target/perfgate/fresh.json` so CI can upload it as an artifact.
-//!
-//! A file-level escape hatch `// lint:allow-file(<rule>): <reason>`
-//! anywhere in a file disables one rule for that whole file.
 
 #![forbid(unsafe_code)]
 
@@ -52,12 +42,12 @@ use std::process::{Command, ExitCode};
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => run_lint(),
+        Some("lint") => run_lint(&args[1..]),
         Some("ci") => run_ci(),
         Some("perfgate") => run_perfgate(&args[1..]),
         _ => {
             eprintln!("usage: cargo xtask <lint|ci|perfgate>");
-            eprintln!("  lint      run the custom workspace lints");
+            eprintln!("  lint      run the static analyzer [--json <path>]");
             eprintln!("  ci        fmt --check, clippy -D warnings, custom lints, tests");
             eprintln!("  perfgate  gate a fresh table1 run against the checked-in baseline");
             eprintln!("            [--baseline <report.json>] [--fresh <report.json>]");
@@ -72,6 +62,58 @@ fn workspace_root() -> PathBuf {
         .ancestors()
         .nth(2)
         .map_or_else(|| PathBuf::from("."), Path::to_path_buf)
+}
+
+// ---------------------------------------------------------------------------
+// `cargo xtask lint`
+// ---------------------------------------------------------------------------
+
+fn run_lint(args: &[String]) -> ExitCode {
+    let mut json_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("lint: --json needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("lint: unknown flag {other}");
+                eprintln!("usage: cargo xtask lint [--json <path>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = workspace_root();
+    let report = bds_analyze::analyze_workspace(&root);
+    print!("{}", report.render_text());
+    if let Some(path) = json_path {
+        let path = if path.is_absolute() {
+            path
+        } else {
+            root.join(path)
+        };
+        if let Some(parent) = path.parent() {
+            if let Err(err) = std::fs::create_dir_all(parent) {
+                eprintln!("lint: cannot create {}: {err}", parent.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(err) = std::fs::write(&path, report.render_json()) {
+            eprintln!("lint: cannot write {}: {err}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("lint: JSON report written to {}", path.display());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -118,7 +160,7 @@ fn run_ci() -> ExitCode {
         }
     }
     println!("==> cargo xtask lint");
-    if run_lint() != ExitCode::SUCCESS {
+    if run_lint(&[]) != ExitCode::SUCCESS {
         failed.push("cargo xtask lint");
     }
     for (label, cmd_args) in &steps[2..] {
@@ -277,641 +319,4 @@ fn perfgate_usage(problem: &str) -> ExitCode {
          [--jobs <n>]"
     );
     ExitCode::from(2)
-}
-
-// ---------------------------------------------------------------------------
-// `cargo xtask lint`
-// ---------------------------------------------------------------------------
-
-/// One reported violation.
-struct Violation {
-    path: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-fn run_lint() -> ExitCode {
-    let root = workspace_root();
-    let mut violations = Vec::new();
-    let mut checked = 0usize;
-    for file in collect_rust_files(&root) {
-        let Ok(text) = std::fs::read_to_string(&file) else {
-            continue;
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(&file).to_path_buf();
-        checked += 1;
-        lint_file(&rel, &text, &mut violations);
-    }
-    // Crate-root rule runs on the roots regardless of library status.
-    for crate_root in collect_crate_roots(&root) {
-        let Ok(text) = std::fs::read_to_string(&crate_root) else {
-            continue;
-        };
-        let rel = crate_root
-            .strip_prefix(&root)
-            .unwrap_or(&crate_root)
-            .to_path_buf();
-        if !text.contains("#![forbid(unsafe_code)]") {
-            violations.push(Violation {
-                path: rel,
-                line: 1,
-                rule: "forbid-unsafe",
-                message: "crate root must declare #![forbid(unsafe_code)]".to_string(),
-            });
-        }
-    }
-    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
-    for v in &violations {
-        println!(
-            "{}:{}: [{}] {}",
-            v.path.display(),
-            v.line,
-            v.rule,
-            v.message
-        );
-    }
-    if violations.is_empty() {
-        println!("lint: {checked} library files clean");
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("lint: {} violation(s) in {checked} files", violations.len());
-        ExitCode::FAILURE
-    }
-}
-
-/// Library sources: every `crates/*/src/**/*.rs` (minus `src/bin/`) plus
-/// the root package's `src/`. `tests/`, `benches/`, `examples/` and the
-/// xtask crate itself are not library code.
-fn collect_rust_files(root: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let crates_dir = root.join("crates");
-    if let Ok(entries) = std::fs::read_dir(&crates_dir) {
-        for entry in entries.flatten() {
-            let dir = entry.path();
-            if dir.file_name().is_some_and(|n| n == "xtask") {
-                continue;
-            }
-            walk(&dir.join("src"), &mut out);
-        }
-    }
-    walk(&root.join("src"), &mut out);
-    out.retain(|p| {
-        !p.components().any(|c| {
-            let c = c.as_os_str();
-            c == "bin" || c == "tests" || c == "benches" || c == "examples"
-        })
-    });
-    out.sort();
-    out
-}
-
-fn collect_crate_roots(root: &Path) -> Vec<PathBuf> {
-    let mut out = vec![
-        root.join("src/lib.rs"),
-        root.join("crates/xtask/src/main.rs"),
-    ];
-    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
-        for entry in entries.flatten() {
-            let lib = entry.path().join("src/lib.rs");
-            if lib.is_file() {
-                out.push(lib);
-            }
-        }
-    }
-    out.sort();
-    out.retain(|p| p.is_file());
-    out
-}
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            walk(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-}
-
-/// The panic-family tokens banned from library code. `assert!` and
-/// `debug_assert!` remain allowed: stating invariants is encouraged.
-const PANIC_TOKENS: [&str; 6] = [
-    ".unwrap()",
-    ".expect(",
-    "panic!(",
-    "unreachable!(",
-    "todo!(",
-    "unimplemented!(",
-];
-
-const PRINT_TOKENS: [&str; 4] = ["println!(", "eprintln!(", "print!(", "eprint!("];
-
-/// Direct wall-clock reads banned from instrumented crates: timing goes
-/// through `bds_trace::Stopwatch` / `span!` so it shows up in reports.
-/// `bds-trace` implements those primitives and `bds-bench` owns the
-/// micro-benchmark runner, so both are exempt. `SystemTime` is on the
-/// list for the same reason (plus it is non-monotonic, so it is wrong
-/// for durations anyway).
-const INSTANT_TOKENS: [&str; 2] = ["Instant::now(", "SystemTime::now("];
-
-fn instant_exempt(rel: &Path) -> bool {
-    let s = rel.to_string_lossy().replace('\\', "/");
-    s.starts_with("crates/trace/") || s.starts_with("crates/bench/")
-}
-
-fn lint_file(rel: &Path, text: &str, violations: &mut Vec<Violation>) {
-    let raw_lines: Vec<&str> = text.lines().collect();
-    let cleaned = clean_lines(&raw_lines);
-    let in_test = test_regions(&raw_lines, &cleaned);
-    let allow_file_panic = text.contains("lint:allow-file(panic)");
-    let allow_file_print = text.contains("lint:allow-file(print)");
-    let allow_file_docs = text.contains("lint:allow-file(docs)");
-    let allow_file_instant = text.contains("lint:allow-file(instant)");
-    let is_docs_crate = {
-        let s = rel.to_string_lossy().replace('\\', "/");
-        s.starts_with("crates/bdd/")
-            || s.starts_with("crates/network/")
-            || s.starts_with("crates/trace/")
-    };
-    let instant_applies = !instant_exempt(rel);
-
-    let allowed = |idx: usize, rule: &str| -> bool {
-        let marker = format!("lint:allow({rule})");
-        raw_lines[idx].contains(&marker) || (idx > 0 && raw_lines[idx - 1].contains(&marker))
-    };
-
-    for (idx, clean) in cleaned.iter().enumerate() {
-        if in_test[idx] {
-            continue;
-        }
-        let line_no = idx + 1;
-        if !allow_file_panic {
-            for tok in PANIC_TOKENS {
-                if contains_token(clean, tok) && !allowed(idx, "panic") {
-                    violations.push(Violation {
-                        path: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "panic",
-                        message: format!(
-                            "`{}` in library code; return an error or justify with \
-                             `// lint:allow(panic)`",
-                            tok.trim_start_matches('.')
-                        ),
-                    });
-                }
-            }
-        }
-        if !allow_file_print {
-            for tok in PRINT_TOKENS {
-                if contains_token(clean, tok) && !allowed(idx, "print") {
-                    violations.push(Violation {
-                        path: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "print",
-                        message: format!(
-                            "`{}` in library code; return data instead or justify with \
-                             `// lint:allow(print)`",
-                            tok.trim_end_matches('(')
-                        ),
-                    });
-                }
-            }
-        }
-        if instant_applies && !allow_file_instant && !allowed(idx, "instant") {
-            for tok in INSTANT_TOKENS {
-                if contains_token(clean, tok) {
-                    violations.push(Violation {
-                        path: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "instant",
-                        message: format!(
-                            "direct `{})` in an instrumented crate; time through \
-                             `bds_trace::Stopwatch`/`span!` or justify with \
-                             `// lint:allow(instant)`",
-                            tok.trim_end_matches('(')
-                        ),
-                    });
-                }
-            }
-        }
-        if is_docs_crate && !allow_file_docs && !allowed(idx, "docs") {
-            if let Some(item) = public_item(clean) {
-                if !has_doc_comment(&raw_lines, idx) {
-                    violations.push(Violation {
-                        path: rel.to_path_buf(),
-                        line: line_no,
-                        rule: "docs",
-                        message: format!("public {item} is missing a doc comment"),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// Substring match that refuses to start mid-identifier, so
-/// `eprintln!(` does not also count as `println!(`.
-fn contains_token(haystack: &str, tok: &str) -> bool {
-    let bytes = haystack.as_bytes();
-    let mut from = 0;
-    while let Some(pos) = haystack[from..].find(tok) {
-        let at = from + pos;
-        let prev = if at == 0 { None } else { Some(bytes[at - 1]) };
-        let boundary =
-            prev.is_none_or(|b| !(b.is_ascii_alphanumeric() || b == b'_') || tok.starts_with('.'));
-        if boundary {
-            return true;
-        }
-        from = at + 1;
-    }
-    false
-}
-
-/// Matches a public item declaration needing a doc comment. Restricted
-/// visibility (`pub(crate)`, `pub(super)`) and re-exports are exempt.
-fn public_item(clean: &str) -> Option<&'static str> {
-    let t = clean.trim_start();
-    let rest = t.strip_prefix("pub ")?;
-    for kw in [
-        "fn", "struct", "enum", "trait", "type", "const", "static", "mod", "union",
-    ] {
-        if let Some(after) = rest.strip_prefix(kw) {
-            if after.starts_with([' ', '\t']) {
-                return Some(kw);
-            }
-        }
-    }
-    None
-}
-
-/// True when the lines above `idx` (skipping attributes) end in a doc
-/// comment (`///` or `#[doc`).
-fn has_doc_comment(raw_lines: &[&str], idx: usize) -> bool {
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        let t = raw_lines[i].trim_start();
-        if t.starts_with("#[") || t.starts_with("#![") || t.ends_with(']') && t.starts_with('#') {
-            continue;
-        }
-        if t.is_empty() {
-            return false;
-        }
-        return t.starts_with("///") || t.starts_with("#[doc") || t.starts_with("//!");
-    }
-    false
-}
-
-/// Removes comments and string/char literal contents line by line,
-/// preserving line structure, so token matching cannot be fooled by
-/// message text.
-fn clean_lines(raw_lines: &[&str]) -> Vec<String> {
-    let mut out = Vec::with_capacity(raw_lines.len());
-    let mut in_block_comment = false;
-    for line in raw_lines {
-        let mut cleaned = String::with_capacity(line.len());
-        let bytes = line.as_bytes();
-        let mut i = 0;
-        while i < bytes.len() {
-            if in_block_comment {
-                if bytes[i..].starts_with(b"*/") {
-                    in_block_comment = false;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-                continue;
-            }
-            match bytes[i] {
-                b'/' if bytes[i..].starts_with(b"//") => break, // line comment
-                b'/' if bytes[i..].starts_with(b"/*") => {
-                    in_block_comment = true;
-                    i += 2;
-                }
-                b'"' => {
-                    i = skip_string(bytes, i);
-                    cleaned.push_str("\"\"");
-                }
-                b'r' if bytes[i..].starts_with(b"r\"") || bytes[i..].starts_with(b"r#") => {
-                    i = skip_raw_string(bytes, i);
-                    cleaned.push_str("\"\"");
-                }
-                b'\'' => {
-                    // Char literal vs lifetime: a char literal closes with
-                    // a quote within a few bytes; a lifetime does not.
-                    if let Some(end) = char_literal_end(bytes, i) {
-                        i = end;
-                        cleaned.push_str("' '");
-                    } else {
-                        cleaned.push('\'');
-                        i += 1;
-                    }
-                }
-                b => {
-                    cleaned.push(b as char);
-                    i += 1;
-                }
-            }
-        }
-        out.push(cleaned);
-    }
-    out
-}
-
-/// Advances past a normal string literal starting at `start` (which must
-/// point at the opening quote). Returns the index after the closing quote
-/// (or end of line for multi-line strings — good enough for token hiding).
-fn skip_string(bytes: &[u8], start: usize) -> usize {
-    let mut i = start + 1;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' => i += 2,
-            b'"' => return i + 1,
-            _ => i += 1,
-        }
-    }
-    bytes.len()
-}
-
-/// Advances past a raw string literal `r"..."` / `r#"..."#`.
-fn skip_raw_string(bytes: &[u8], start: usize) -> usize {
-    let mut i = start + 1;
-    let mut hashes = 0;
-    while i < bytes.len() && bytes[i] == b'#' {
-        hashes += 1;
-        i += 1;
-    }
-    if i >= bytes.len() || bytes[i] != b'"' {
-        return start + 1;
-    }
-    i += 1;
-    while i < bytes.len() {
-        if bytes[i] == b'"' {
-            let mut j = i + 1;
-            let mut seen = 0;
-            while j < bytes.len() && bytes[j] == b'#' && seen < hashes {
-                seen += 1;
-                j += 1;
-            }
-            if seen == hashes {
-                return j;
-            }
-        }
-        i += 1;
-    }
-    bytes.len()
-}
-
-/// If a char literal starts at `start`, returns the index just past it.
-fn char_literal_end(bytes: &[u8], start: usize) -> Option<usize> {
-    let mut i = start + 1;
-    if i >= bytes.len() {
-        return None;
-    }
-    if bytes[i] == b'\\' {
-        i += 2; // escape plus escaped byte (covers \n, \', \\, \u prefix)
-        while i < bytes.len() && bytes[i] != b'\'' {
-            i += 1;
-        }
-        return (i < bytes.len()).then_some(i + 1);
-    }
-    // Unescaped: exactly one character (possibly multi-byte) then a quote.
-    let mut j = i + 1;
-    while j < bytes.len() && j <= i + 4 {
-        if bytes[j] == b'\'' {
-            return Some(j + 1);
-        }
-        j += 1;
-    }
-    None
-}
-
-/// Marks lines inside `#[cfg(test)]`-gated blocks (test modules and
-/// test-only items). Tracks brace depth from the block opened after the
-/// attribute.
-fn test_regions(raw_lines: &[&str], cleaned: &[String]) -> Vec<bool> {
-    let mut in_test = vec![false; raw_lines.len()];
-    let mut i = 0;
-    while i < raw_lines.len() {
-        let t = raw_lines[i].trim_start();
-        if t.starts_with("#[cfg(test)]") || t.starts_with("#[cfg(all(test") {
-            // Find the block opened by the following item and consume it.
-            let mut depth: i32 = 0;
-            let mut opened = false;
-            let mut j = i;
-            while j < raw_lines.len() {
-                in_test[j] = true;
-                for b in cleaned[j].bytes() {
-                    match b {
-                        b'{' => {
-                            depth += 1;
-                            opened = true;
-                        }
-                        b'}' => depth -= 1,
-                        // An attribute on a braceless item (e.g. a
-                        // `#[cfg(test)] use …;`) ends at the semicolon.
-                        b';' if !opened && depth == 0 => {
-                            opened = true;
-                            depth = 0;
-                        }
-                        _ => {}
-                    }
-                }
-                if opened && depth <= 0 {
-                    break;
-                }
-                j += 1;
-            }
-            i = j + 1;
-        } else {
-            i += 1;
-        }
-    }
-    in_test
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn lint_str(text: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        lint_file(Path::new("crates/demo/src/lib.rs"), text, &mut v);
-        v.into_iter()
-            .map(|v| format!("{}:{}", v.rule, v.line))
-            .collect()
-    }
-
-    #[test]
-    fn flags_unwrap_in_library_code() {
-        let text = "fn f() {\n    let x = g().unwrap();\n}\n";
-        assert_eq!(lint_str(text), vec!["panic:2"]);
-    }
-
-    #[test]
-    fn allows_justified_unwrap() {
-        let text = "fn f() {\n    // lint:allow(panic) — cannot fail, g is total\n    \
-                    let x = g().unwrap();\n}\n";
-        assert!(lint_str(text).is_empty());
-    }
-
-    #[test]
-    fn same_line_justification_works() {
-        let text = "fn f() {\n    let x = g().unwrap(); // lint:allow(panic) — total\n}\n";
-        assert!(lint_str(text).is_empty());
-    }
-
-    #[test]
-    fn file_level_allow_disables_rule() {
-        let text = "// lint:allow-file(panic): generator code\nfn f() {\n    g().unwrap();\n}\n";
-        assert!(lint_str(text).is_empty());
-    }
-
-    #[test]
-    fn ignores_test_modules() {
-        let text = "fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        \
-                    g().unwrap();\n        println!(\"x\");\n    }\n}\n";
-        assert!(lint_str(text).is_empty());
-    }
-
-    #[test]
-    fn flags_code_after_test_module() {
-        let text = "#[cfg(test)]\nmod tests {\n    fn t() { g().unwrap(); }\n}\n\
-                    fn f() {\n    g().unwrap();\n}\n";
-        assert_eq!(lint_str(text), vec!["panic:6"]);
-    }
-
-    #[test]
-    fn strings_and_comments_do_not_trigger() {
-        let text = "fn f() {\n    let s = \"call .unwrap() and panic!(now)\";\n    \
-                    // .unwrap() in a comment\n}\n";
-        assert!(lint_str(text).is_empty());
-    }
-
-    #[test]
-    fn print_macros_flagged() {
-        let text = "fn f() {\n    println!(\"hi\");\n    eprintln!(\"bye\");\n}\n";
-        assert_eq!(lint_str(text), vec!["print:2", "print:3"]);
-    }
-
-    #[test]
-    fn panic_macro_flagged() {
-        let text = "fn f() {\n    panic!(\"boom\");\n    unreachable!(\"no\");\n}\n";
-        assert_eq!(lint_str(text), vec!["panic:2", "panic:3"]);
-    }
-
-    fn docs_lint(text: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        lint_file(Path::new("crates/bdd/src/lib.rs"), text, &mut v);
-        v.into_iter()
-            .filter(|v| v.rule == "docs")
-            .map(|v| format!("{}:{}", v.rule, v.line))
-            .collect()
-    }
-
-    #[test]
-    fn undocumented_public_item_flagged() {
-        let text = "pub fn naked() {}\n";
-        assert_eq!(docs_lint(text), vec!["docs:1"]);
-    }
-
-    #[test]
-    fn documented_public_item_passes() {
-        let text = "/// Does a thing.\npub fn documented() {}\n";
-        assert!(docs_lint(text).is_empty());
-    }
-
-    #[test]
-    fn attribute_between_doc_and_item_ok() {
-        let text = "/// Doc.\n#[inline]\npub fn documented() {}\n";
-        assert!(docs_lint(text).is_empty());
-    }
-
-    #[test]
-    fn pub_crate_items_exempt_from_docs() {
-        let text = "pub(crate) fn internal() {}\npub use other::thing;\n";
-        assert!(docs_lint(text).is_empty());
-    }
-
-    #[test]
-    fn docs_rule_limited_to_docs_crates() {
-        let text = "pub fn naked() {}\n";
-        let mut v = Vec::new();
-        lint_file(Path::new("crates/sop/src/lib.rs"), text, &mut v);
-        assert!(v.iter().all(|v| v.rule != "docs"));
-    }
-
-    fn lint_at(path: &str, text: &str) -> Vec<String> {
-        let mut v = Vec::new();
-        lint_file(Path::new(path), text, &mut v);
-        v.into_iter()
-            .map(|v| format!("{}:{}", v.rule, v.line))
-            .collect()
-    }
-
-    #[test]
-    fn instant_now_flagged_in_instrumented_crates() {
-        let text = "fn f() {\n    let t0 = std::time::Instant::now();\n}\n";
-        assert_eq!(lint_at("crates/bdd/src/lib.rs", text), vec!["instant:2"]);
-    }
-
-    #[test]
-    fn instant_now_allowed_in_trace_and_bench() {
-        let text = "fn f() {\n    let t0 = Instant::now();\n}\n";
-        assert!(lint_at("crates/trace/src/span.rs", text).is_empty());
-        assert!(lint_at("crates/bench/src/timing.rs", text).is_empty());
-    }
-
-    #[test]
-    fn system_time_now_flagged_like_instant() {
-        let text = "fn f() {\n    let t = std::time::SystemTime::now();\n}\n";
-        assert_eq!(lint_at("crates/bdd/src/lib.rs", text), vec!["instant:2"]);
-        assert!(lint_at("crates/trace/src/span.rs", text).is_empty());
-    }
-
-    #[test]
-    fn instant_justification_works() {
-        let line = "fn f() {\n    // lint:allow(instant) — cold path, not worth a span\n    \
-                    let t0 = Instant::now();\n}\n";
-        assert!(lint_at("crates/bds-core/src/flow.rs", line).is_empty());
-        let file = "// lint:allow-file(instant): startup timing only\nfn f() {\n    \
-                    let t0 = Instant::now();\n}\n";
-        assert!(lint_at("crates/bds-core/src/flow.rs", file).is_empty());
-    }
-
-    #[test]
-    fn instant_ignored_in_test_modules() {
-        let text = "#[cfg(test)]\nmod tests {\n    fn t() { let t = Instant::now(); }\n}\n";
-        assert!(lint_at("crates/bdd/src/lib.rs", text).is_empty());
-    }
-
-    #[test]
-    fn docs_rule_covers_trace_crate() {
-        let text = "pub fn naked() {}\n";
-        assert_eq!(lint_at("crates/trace/src/lib.rs", text), vec!["docs:1"]);
-    }
-
-    #[test]
-    fn char_literals_do_not_break_cleaning() {
-        let text = "fn f() {\n    let c = '\\'';\n    let l: &'static str = \"x\";\n    \
-                    g().unwrap();\n}\n";
-        assert_eq!(lint_str(text), vec!["panic:4"]);
-    }
-
-    #[test]
-    fn raw_strings_hidden() {
-        let text = "fn f() {\n    let s = r#\"has .unwrap() inside\"#;\n}\n";
-        assert!(lint_str(text).is_empty());
-    }
-
-    #[test]
-    fn expect_flagged_and_justifiable() {
-        let text = "fn f() {\n    g().expect(\"msg\");\n}\n";
-        assert_eq!(lint_str(text), vec!["panic:2"]);
-    }
 }

@@ -42,10 +42,7 @@ fn probe_gauges_match() {
         let _ = optimize(&net, &params(4)).unwrap();
         let par = bds_trace::take_snapshot();
         if seq.gauges != par.gauges {
-            bad.push(format!(
-                "{name}: seq={:?} par={:?}",
-                seq.gauges, par.gauges
-            ));
+            bad.push(format!("{name}: seq={:?} par={:?}", seq.gauges, par.gauges));
         }
         if seq.counters != par.counters {
             bad.push(format!("{name}: COUNTERS diverged"));
