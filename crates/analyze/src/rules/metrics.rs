@@ -1,0 +1,98 @@
+//! The metric-name rule: metric identifiers are grep-able constants.
+//!
+//! Every counter/gauge/histogram name in the workspace ends up in
+//! report files, `summary --compare` diffs and perfgate output; a name
+//! assembled at runtime (or spelled in a one-off style) cannot be
+//! grepped for, diffed or gated. The rule pins every instrumentation
+//! call site — the `counter!` / `counter_add!` / `gauge!` /
+//! `histogram!` macros and the `add_counter` / `set_gauge` /
+//! `record_histogram` registry functions — to a literal dotted
+//! lowercase name (`area.thing.metric`). The trace crate itself is
+//! exempt: it implements the registry and names metrics generically.
+
+use super::{Diagnostic, FileCx, Rule};
+use crate::lexer::TokenKind;
+
+/// Macro entry points whose first argument names a metric.
+const METRIC_MACROS: [&str; 4] = ["counter", "counter_add", "gauge", "histogram"];
+
+/// Registry functions whose first argument names a metric.
+const METRIC_FNS: [&str; 3] = ["add_counter", "set_gauge", "record_histogram"];
+
+/// Metric names are literal, dotted, lowercase.
+pub struct MetricNameRule;
+
+/// `area.thing.metric`: at least two non-empty dot-separated segments,
+/// each `[a-z0-9_]+`.
+fn is_dotted_lowercase(name: &str) -> bool {
+    name.contains('.')
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_')
+        })
+}
+
+impl MetricNameRule {
+    /// Validates the metric-name argument at view position `i` (the
+    /// first token after the opening parenthesis).
+    fn check_name(&self, cx: &FileCx<'_>, call: &str, i: usize, out: &mut Vec<Diagnostic>) {
+        let help = "name metrics with a literal dotted lowercase path (`area.thing.metric`) \
+                    so reports, diffs and gates can grep for them, or justify with \
+                    `// lint:allow(metric-name) — <reason>`";
+        let Some(tok) = cx.sig_tok(i) else { return };
+        if tok.kind != TokenKind::Str {
+            out.push(cx.diag_at(
+                i,
+                self.name(),
+                format!("`{call}` metric name is not a plain string literal"),
+                help,
+            ));
+            return;
+        }
+        let name = tok.text(cx.text).trim_matches('"');
+        if !is_dotted_lowercase(name) {
+            out.push(cx.diag_at(
+                i,
+                self.name(),
+                format!("`{call}` metric name {name:?} is not dotted lowercase"),
+                help,
+            ));
+        }
+    }
+}
+
+impl Rule for MetricNameRule {
+    fn name(&self) -> &'static str {
+        "metric-name"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library && !cx.rel_s.starts_with("crates/trace/src/")
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            // `counter!("…")`, `gauge!("…")`, `histogram!("…")`, …
+            if METRIC_MACROS.iter().any(|m| cx.is_ident(i, m))
+                && cx.is_punct(i + 1, '!')
+                && cx.is_punct(i + 2, '(')
+            {
+                self.check_name(cx, &format!("{}!", cx.stext(i)), i + 3, out);
+                continue;
+            }
+            // `add_counter("…", v)`, `set_gauge("…", v)`, … — call
+            // sites only, not the registry's own definitions.
+            if METRIC_FNS.iter().any(|f| cx.is_ident(i, f))
+                && cx.is_punct(i + 1, '(')
+                && !(i > 0 && cx.is_ident(i - 1, "fn"))
+            {
+                self.check_name(cx, cx.stext(i), i + 2, out);
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@ use std::path::Path;
 mod concurrency;
 mod determinism;
 mod docs;
+mod metrics;
 mod panics;
 mod timing;
 mod unsafe_root;
@@ -146,6 +147,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(concurrency::LockRule),
         Box::new(concurrency::ThreadSpawnRule),
         Box::new(unsafe_root::ForbidUnsafeRule),
+        Box::new(metrics::MetricNameRule),
     ]
 }
 

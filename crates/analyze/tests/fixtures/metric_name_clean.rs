@@ -1,0 +1,18 @@
+//@path: crates/bds-core/src/demo.rs
+fn instrumented(n: u64) {
+    bds_trace::counter!("flow.demo.calls");
+    bds_trace::counter_add!("flow.demo.nodes", n);
+    bds_trace::gauge!("flow.demo.peak_bytes", n * 2);
+    bds_trace::histogram!("flow.demo.chain_len", n);
+    bds_trace::add_counter("bdd.demo.hits_2x", n);
+    bds_trace::set_gauge("bdd.demo.load_pct", n);
+    bds_trace::record_histogram("bdd.demo.depth", n);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_use_scratch_names() {
+        bds_trace::add_counter("scratch", 1);
+    }
+}

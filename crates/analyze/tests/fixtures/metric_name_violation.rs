@@ -1,0 +1,8 @@
+//@path: crates/bds-core/src/demo.rs
+fn instrumented(phase: &str, n: u64) {
+    bds_trace::counter!("Flow.Demo.Calls");
+    bds_trace::gauge!("peakbytes", n);
+    bds_trace::counter_add!(format!("flow.{phase}.nodes"), n);
+    bds_trace::add_counter(phase, n);
+    bds_trace::set_gauge("bdd.demo..load", n);
+}

@@ -118,6 +118,7 @@ fn every_rule_has_fixture_coverage() {
         "lock",
         "thread-spawn",
         "forbid-unsafe",
+        "metric-name",
         "stale-allow",
         "allow-justification",
     ];

@@ -2,6 +2,7 @@
 
 use crate::edge::Edge;
 use crate::manager::Manager;
+use crate::stats::miss_depth_bucket;
 use crate::Result;
 
 impl Manager {
@@ -15,21 +16,42 @@ impl Manager {
     /// # Errors
     /// [`crate::BddError::NodeLimit`] if the manager's node limit is hit.
     pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Result<Edge> {
+        self.ite_rec(f, g, h, 0)
+    }
+
+    /// The memoized ITE recursion, threading the recursion `depth` so
+    /// computed-table misses can be bucketed by how deep they happened
+    /// (shallow = cold first touch, deep = the cache thrashing inside a
+    /// recursion).
+    fn ite_rec(&mut self, f: Edge, g: Edge, h: Edge, depth: u32) -> Result<Edge> {
         self.ops.ite_calls += 1;
+        if bds_trace::is_enabled()
+            && self
+                .ops
+                .ite_calls
+                .is_multiple_of(bds_trace::timeline::SAMPLE_INTERVAL)
+        {
+            self.sample_timeline();
+        }
         // --- terminal cases -------------------------------------------------
         if f.is_one() {
+            self.ops.terminal_hits += 1;
             return Ok(g);
         }
         if f.is_zero() {
+            self.ops.terminal_hits += 1;
             return Ok(h);
         }
         if g == h {
+            self.ops.terminal_hits += 1;
             return Ok(g);
         }
         if g.is_one() && h.is_zero() {
+            self.ops.terminal_hits += 1;
             return Ok(f);
         }
         if g.is_zero() && h.is_one() {
+            self.ops.terminal_hits += 1;
             return Ok(f.complement());
         }
 
@@ -47,12 +69,15 @@ impl Manager {
         }
         // Re-check terminal cases after substitution.
         if g == h {
+            self.ops.terminal_hits += 1;
             return Ok(g);
         }
         if g.is_one() && h.is_zero() {
+            self.ops.terminal_hits += 1;
             return Ok(f);
         }
         if g.is_zero() && h.is_one() {
+            self.ops.terminal_hits += 1;
             return Ok(f.complement());
         }
 
@@ -108,6 +133,7 @@ impl Manager {
             return Ok(cached.complement_if(negate));
         }
         self.ops.cache_misses += 1;
+        self.ops.miss_depth[miss_depth_bucket(depth)] += 1;
 
         // --- recursion -------------------------------------------------------
         let level = self
@@ -117,11 +143,31 @@ impl Manager {
         let (f1, f0) = self.cofactors_at(f, level);
         let (g1, g0) = self.cofactors_at(g, level);
         let (h1, h0) = self.cofactors_at(h, level);
-        let t = self.ite(f1, g1, h1)?;
-        let e = self.ite(f0, g0, h0)?;
+        let t = self.ite_rec(f1, g1, h1, depth + 1)?;
+        let e = self.ite_rec(f0, g0, h0, depth + 1)?;
         let r = self.mk(level, t, e)?;
         self.ite_cache.insert((f, g, h), r);
         Ok(r.complement_if(negate))
+    }
+
+    /// Pushes one timeline sample of this manager's live gauges. Cold:
+    /// only reached every [`bds_trace::timeline::SAMPLE_INTERVAL`] ite
+    /// calls, and only with tracing compiled in.
+    #[cold]
+    fn sample_timeline(&self) {
+        let stats = self.table_stats();
+        bds_trace::timeline::observe(
+            self.ops.ite_calls,
+            &bds_trace::timeline::SampleValues {
+                arena_nodes: self.nodes.len() as u64,
+                arena_bytes: stats.estimated_bytes() as u64,
+                unique_entries: stats.unique_entries as u64,
+                unique_capacity: stats.unique_capacity as u64,
+                computed_entries: stats.computed_entries as u64,
+                cache_hits: self.ops.cache_hits,
+                cache_misses: self.ops.cache_misses,
+            },
+        );
     }
 
     /// True when `a` should precede `b` in the canonical ITE argument order.

@@ -57,8 +57,10 @@ impl Manager {
             return Ok(Edge::ZERO);
         }
         if let Some(&r) = memo.get(&(f, c)) {
+            self.ops.restrict_hits += 1;
             return Ok(r);
         }
+        self.ops.restrict_misses += 1;
         let fl = self.node_level(f);
         let cl = self.node_level(c);
         let r = if cl < fl {

@@ -115,8 +115,10 @@ fn transfer_rec(
     }
     let node = e.node();
     let mapped = if let Some(&m) = memo.get(&node) {
+        dst.ops.transfer_hits += 1;
         m
     } else {
+        dst.ops.transfer_misses += 1;
         let (var, high, low) = src
             .node_raw(e.regular())
             // lint:allow(panic) — guarded: constants are handled in the other branch

@@ -127,6 +127,14 @@ pub struct FlowReport {
     /// variant built and decomposed (scratch managers inside sifting and
     /// cost probes are not included).
     pub bdd_ops: OpStats,
+    /// Peak modeled manager bytes (arena + both tables, see
+    /// [`bds_bdd::TableStats::estimated_bytes`]) across the flow's
+    /// managers, sampled at phase boundaries. Deterministic — gated
+    /// exactly by perfgate at any thread count.
+    pub peak_arena_bytes: usize,
+    /// Peak unique-table load factor observed at phase boundaries
+    /// across the flow's managers, in `[0, 1]`. Deterministic.
+    pub peak_unique_load: f64,
 }
 
 /// Runs the full BDS flow on `net` and returns the optimized network
@@ -137,6 +145,11 @@ pub struct FlowReport {
 /// partitioned fallback instead of failing.
 pub fn optimize(net: &Network, params: &FlowParams) -> Result<(Network, FlowReport), NetworkError> {
     let _span = bds_trace::span!("flow");
+    // Any BDD work on this thread outside a supernode (eliminate's cost
+    // probes, the global build) samples under the global scope; the
+    // flow always runs those on the calling thread, so the timeline is
+    // identical at any `jobs` setting.
+    bds_trace::timeline::set_scope(bds_trace::timeline::GLOBAL_SCOPE);
     let start = Stopwatch::start();
     let mut work = net.compacted()?;
     // Phase boundary: sweep audits the network on exit (strict builds).
@@ -237,14 +250,24 @@ fn run_candidate_pair<T: Send>(
     a: impl FnOnce() -> T + Send,
     b: impl FnOnce() -> T + Send,
 ) -> (T, T) {
-    let ((ra, snap_a, journal_a), (rb, snap_b, journal_b)) = std::thread::scope(|s| {
+    let ((ra, snap_a, journal_a, tl_a), (rb, snap_b, journal_b, tl_b)) = std::thread::scope(|s| {
         let ha = s.spawn(move || {
             let out = a();
-            (out, bds_trace::take_snapshot(), bds_trace::take_journal())
+            (
+                out,
+                bds_trace::take_snapshot(),
+                bds_trace::take_journal(),
+                bds_trace::timeline::take_timeline(),
+            )
         });
         let hb = s.spawn(move || {
             let out = b();
-            (out, bds_trace::take_snapshot(), bds_trace::take_journal())
+            (
+                out,
+                bds_trace::take_snapshot(),
+                bds_trace::take_journal(),
+                bds_trace::timeline::take_timeline(),
+            )
         });
         let join = |h: std::thread::ScopedJoinHandle<'_, _>| match h.join() {
             Ok(out) => out,
@@ -254,8 +277,10 @@ fn run_candidate_pair<T: Send>(
     });
     bds_trace::absorb_snapshot(&snap_a);
     bds_trace::absorb_journal(journal_a);
+    bds_trace::timeline::absorb_timeline(tl_a);
     bds_trace::absorb_snapshot(&snap_b);
     bds_trace::absorb_journal(journal_b);
+    bds_trace::timeline::absorb_timeline(tl_b);
     (ra, rb)
 }
 
@@ -268,6 +293,7 @@ pub fn optimize_global(
     net: &Network,
     params: &FlowParams,
 ) -> Result<(Network, FlowReport), NetworkError> {
+    bds_trace::timeline::set_scope(bds_trace::timeline::GLOBAL_SCOPE);
     let (mgr, edges, var_of) = {
         let _span = bds_trace::span!("flow.build");
         let built = net.global_bdds(params.global_limit)?;
@@ -287,11 +313,15 @@ pub fn optimize_global(
     }
     let peak0 = mgr.arena_size();
     let mut ops = mgr.op_stats();
+    let build_table = mgr.table_stats();
+    let build_bytes = build_table.estimated_bytes();
+    let mut peak_load = build_table.unique_load_factor();
     // Reorder (paper §IV-C: reordering precedes decomposition).
     let (mut mgr, edges) = {
         let _span = bds_trace::span!("flow.reorder");
         sift(&mgr, &edges, params.sift).map_err(NetworkError::Bdd)?
     };
+    peak_load = peak_load.max(mgr.table_stats().unique_load_factor());
     let mut forest = FactorForest::new();
     let mut dec = Decomposer::new();
     let mut roots = Vec::with_capacity(edges.len());
@@ -331,6 +361,8 @@ pub fn optimize_global(
     out.sweep()?;
     let out = out.compacted()?;
     let table = mgr.table_stats();
+    let decompose_bytes = table.estimated_bytes();
+    peak_load = peak_load.max(table.unique_load_factor());
     bds_trace::gauge!("bdd.global.unique_entries", table.unique_entries as u64);
     bds_trace::gauge!("bdd.global.computed_entries", table.computed_entries as u64);
     bds_trace::gauge!(
@@ -341,6 +373,26 @@ pub fn optimize_global(
         "bdd.global.peak_arena_nodes",
         peak0.max(mgr.arena_size()) as u64
     );
+    if bds_trace::is_enabled() {
+        // Table analytics and the dead-node census are O(arena); only
+        // pay for them when the trace registry is live to record them.
+        bds_trace::counter_add!(
+            "bdd.decompose.dead_nodes",
+            mgr.dead_node_count(&edges) as u64
+        );
+        for len in mgr.unique_chain_lengths() {
+            bds_trace::histogram!("bdd.unique.chain_len", len);
+        }
+        for width in mgr.level_node_counts() {
+            bds_trace::histogram!("bdd.level.width", width);
+        }
+    }
+    bds_trace::gauge!("bdd.phase.build.peak_arena_bytes", build_bytes as u64);
+    bds_trace::gauge!(
+        "bdd.phase.decompose.peak_arena_bytes",
+        decompose_bytes as u64
+    );
+    bds_trace::gauge!("bdd.peak_unique_load_pct", (peak_load * 100.0) as u64);
     publish_trace(&dec.stats, &ops);
     Ok((
         out,
@@ -351,6 +403,8 @@ pub fn optimize_global(
             peak_bdd_nodes: peak0.max(mgr.arena_size()),
             eliminated: 0,
             bdd_ops: ops,
+            peak_arena_bytes: build_bytes.max(decompose_bytes),
+            peak_unique_load: peak_load,
         },
     ))
 }
@@ -374,6 +428,13 @@ struct NodeArtifact {
     peak_unique: usize,
     /// Peak computed-table entries (tracked only when tracing is live).
     peak_computed: usize,
+    /// Modeled manager bytes right after the local BDD build.
+    build_bytes: usize,
+    /// Modeled manager bytes after decomposition finished.
+    decompose_bytes: usize,
+    /// Peak unique-table load factor across this node's phase
+    /// boundaries, in `[0, 1]`.
+    peak_load: f64,
 }
 
 /// Runs one supernode through the local-BDD pipeline — build → sift →
@@ -388,6 +449,10 @@ fn decompose_supernode(
     fanins: &[SignalId],
     params: &FlowParams,
 ) -> Result<NodeArtifact, NetworkError> {
+    // Timeline samples from this supernode's managers (including sift
+    // scratch managers) are keyed by its signal index; the budget
+    // resets here, so sample bounds are per supernode, not per thread.
+    bds_trace::timeline::set_scope(sig.index() as u64);
     let mut ops = OpStats::default();
     let mut mgr = Manager::new();
     let vars: Vec<bds_bdd::Var> = fanins
@@ -399,12 +464,16 @@ fn decompose_supernode(
         work.local_bdd(sig, &mut mgr, &vars)?
     };
     ops.merge(&mgr.op_stats());
+    let build_table = mgr.table_stats();
+    let build_bytes = build_table.estimated_bytes();
+    let mut peak_load = build_table.unique_load_factor();
     let (mut mgr, edges) = {
         let _span = bds_trace::span!("flow.reorder");
         sift(&mgr, &[edge], params.sift).map_err(NetworkError::Bdd)?
     };
     let edge = edges[0];
     let peak = mgr.arena_size();
+    peak_load = peak_load.max(mgr.table_stats().unique_load_factor());
 
     let mut forest = FactorForest::new();
     let mut dec = Decomposer::new();
@@ -414,11 +483,25 @@ fn decompose_supernode(
             .map_err(NetworkError::Bdd)?
     };
     ops.merge(&mgr.op_stats());
+    let table = mgr.table_stats();
+    let decompose_bytes = table.estimated_bytes();
+    peak_load = peak_load.max(table.unique_load_factor());
     let (mut peak_unique, mut peak_computed) = (0, 0);
     if bds_trace::is_enabled() {
-        let table = mgr.table_stats();
         peak_unique = table.unique_entries;
         peak_computed = table.computed_entries;
+        // O(arena)/O(entries) analytics, paid only when a registry is
+        // live to receive them.
+        bds_trace::counter_add!(
+            "bdd.decompose.dead_nodes",
+            mgr.dead_node_count(&[edge]) as u64
+        );
+        for len in mgr.unique_chain_lengths() {
+            bds_trace::histogram!("bdd.unique.chain_len", len);
+        }
+        for width in mgr.level_node_counts() {
+            bds_trace::histogram!("bdd.level.width", width);
+        }
     }
     Ok(NodeArtifact {
         forest,
@@ -428,6 +511,9 @@ fn decompose_supernode(
         peak,
         peak_unique,
         peak_computed,
+        build_bytes,
+        decompose_bytes,
+        peak_load,
     })
 }
 
@@ -452,6 +538,7 @@ fn decompose_sharded(
         Vec<(usize, Result<NodeArtifact, NetworkError>)>,
         bds_trace::Snapshot,
         bds_trace::Journal,
+        bds_trace::timeline::Timeline,
     );
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
@@ -477,7 +564,12 @@ fn decompose_sharded(
                     // Hand the thread-local trace state to the
                     // coordinator; a worker that exits without draining
                     // would silently lose its metrics.
-                    (done, bds_trace::take_snapshot(), bds_trace::take_journal())
+                    (
+                        done,
+                        bds_trace::take_snapshot(),
+                        bds_trace::take_journal(),
+                        bds_trace::timeline::take_timeline(),
+                    )
                 })
             })
             .collect();
@@ -493,9 +585,10 @@ fn decompose_sharded(
     let mut slots: Vec<Option<NodeArtifact>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let mut first_err: Option<(usize, NetworkError)> = None;
-    for (done, snapshot, journal) in worker_outs {
+    for (done, snapshot, journal, timeline) in worker_outs {
         bds_trace::absorb_snapshot(&snapshot);
         bds_trace::absorb_journal(journal);
+        bds_trace::timeline::absorb_timeline(timeline);
         for (i, r) in done {
             match r {
                 Ok(artifact) => slots[i] = Some(artifact),
@@ -544,6 +637,12 @@ pub fn optimize_partitioned(
     // the phase gauges below (only tracked when tracing is compiled in).
     let mut peak_unique = 0usize;
     let mut peak_computed = 0usize;
+    // Always-on memory accounting: modeled bytes per phase and the
+    // worst unique-table load, maxed across per-node managers (order-
+    // independent, so identical at any thread count).
+    let mut build_bytes = 0usize;
+    let mut decompose_bytes = 0usize;
+    let mut peak_load = 0f64;
     // work signal → out signal.
     let mut map: Vec<Option<SignalId>> = vec![None; work.signals().count()];
     for &i in work.inputs() {
@@ -567,6 +666,10 @@ pub fn optimize_partitioned(
             .map(|(sig, fanins)| decompose_supernode(&work, *sig, fanins, params))
             .collect::<Result<_, _>>()?
     };
+    // Leave the supernode scope behind: any later BDD work on this
+    // thread samples under the global scope again, exactly as it would
+    // when the supernodes ran on worker threads.
+    bds_trace::timeline::set_scope(bds_trace::timeline::GLOBAL_SCOPE);
     for ((sig, fanins), artifact) in items.iter().zip(artifacts) {
         let sig = *sig;
         stats.merge(artifact.stats);
@@ -574,6 +677,9 @@ pub fn optimize_partitioned(
         peak = peak.max(artifact.peak);
         peak_unique = peak_unique.max(artifact.peak_unique);
         peak_computed = peak_computed.max(artifact.peak_computed);
+        build_bytes = build_bytes.max(artifact.build_bytes);
+        decompose_bytes = decompose_bytes.max(artifact.decompose_bytes);
+        peak_load = peak_load.max(artifact.peak_load);
 
         let _sharing_span = bds_trace::span!("flow.sharing");
         let mut var_signals: Vec<SignalId> = Vec::with_capacity(fanins.len());
@@ -611,6 +717,12 @@ pub fn optimize_partitioned(
         "bdd.partitioned.peak_computed_entries",
         peak_computed as u64
     );
+    bds_trace::gauge!("bdd.phase.build.peak_arena_bytes", build_bytes as u64);
+    bds_trace::gauge!(
+        "bdd.phase.decompose.peak_arena_bytes",
+        decompose_bytes as u64
+    );
+    bds_trace::gauge!("bdd.peak_unique_load_pct", (peak_load * 100.0) as u64);
     publish_trace(&stats, &ops);
     Ok((
         out,
@@ -621,6 +733,8 @@ pub fn optimize_partitioned(
             peak_bdd_nodes: peak,
             eliminated: 0,
             bdd_ops: ops,
+            peak_arena_bytes: build_bytes.max(decompose_bytes),
+            peak_unique_load: peak_load,
         },
     ))
 }
@@ -644,6 +758,21 @@ fn publish_trace(stats: &DecomposeStats, ops: &OpStats) {
     bds_trace::counter_add!("bdd.restrict_calls", ops.restrict_calls);
     bds_trace::counter_add!("bdd.unique_hits", ops.unique_hits);
     bds_trace::counter_add!("bdd.nodes_created", ops.nodes_created);
+    bds_trace::counter_add!("bdd.cache.terminal_hits", ops.terminal_hits);
+    bds_trace::counter_add!("bdd.restrict.memo_hits", ops.restrict_hits);
+    bds_trace::counter_add!("bdd.restrict.memo_misses", ops.restrict_misses);
+    bds_trace::counter_add!("bdd.transfer.memo_hits", ops.transfer_hits);
+    bds_trace::counter_add!("bdd.transfer.memo_misses", ops.transfer_misses);
+    // Miss-depth buckets as literal names (the `metric-name` lint
+    // requires compile-time metric names, which keeps them greppable).
+    bds_trace::counter_add!("bdd.cache.miss_depth0", ops.miss_depth[0]);
+    bds_trace::counter_add!("bdd.cache.miss_depth1", ops.miss_depth[1]);
+    bds_trace::counter_add!("bdd.cache.miss_depth2", ops.miss_depth[2]);
+    bds_trace::counter_add!("bdd.cache.miss_depth3", ops.miss_depth[3]);
+    bds_trace::counter_add!("bdd.cache.miss_depth4", ops.miss_depth[4]);
+    bds_trace::counter_add!("bdd.cache.miss_depth5", ops.miss_depth[5]);
+    bds_trace::counter_add!("bdd.cache.miss_depth6", ops.miss_depth[6]);
+    bds_trace::counter_add!("bdd.cache.miss_depth7", ops.miss_depth[7]);
 }
 
 #[cfg(test)]

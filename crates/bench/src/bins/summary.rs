@@ -32,7 +32,7 @@ use bds_trace::json::{parse, Json};
 
 use bds_trace::gate::{compare_reports, Thresholds};
 
-use crate::harness::{geomean, print_rows, run_both, Row};
+use crate::harness::{geomean, live_line, print_rows, run_both, Row};
 use crate::report::{envelope, finish_rows, parse_args, row_json};
 
 fn class_summary(title: &str, rows: &[Row], paper_claim: &str) {
@@ -145,7 +145,13 @@ pub fn main() -> ExitCode {
     };
     let flow = args.flow_params();
     let sis = SisParams::default();
-    let run = |name: String, net: &Network| run_both(name, "-", net, &flow, &sis);
+    let run = |name: String, net: &Network| {
+        let row = run_both(name, "-", net, &flow, &sis);
+        if args.live {
+            eprintln!("{}", live_line(&row));
+        }
+        row
+    };
 
     // S1: AND/OR-intensive random logic (10 seeded instances).
     let mut ctrl_rows = Vec::new();
@@ -213,7 +219,14 @@ pub fn main() -> ExitCode {
             args.effective_jobs(),
             rows.iter().map(row_json).collect(),
         );
-        match compare_reports(doc, &fresh, &Thresholds::default()) {
+        let thresholds = match Thresholds::from_env() {
+            Ok(thresholds) => thresholds,
+            Err(err) => {
+                eprintln!("summary: invalid tolerance: {err}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match compare_reports(doc, &fresh, &thresholds) {
             Ok(outcome) => {
                 print!("{}", outcome.render());
                 if !outcome.passed() {

@@ -21,7 +21,7 @@ use bds_circuits::random_logic::{random_logic, RandomLogicParams};
 use bds_circuits::shifter::barrel_shifter;
 use bds_network::Network;
 
-use crate::harness::{print_rows, run_both, Row};
+use crate::harness::{live_line, print_rows, run_both, Row};
 use crate::report::{finish_rows, parse_args};
 
 fn workloads(fast: bool) -> Vec<(String, &'static str, Network)> {
@@ -74,7 +74,11 @@ pub fn main() -> ExitCode {
         .into_iter()
         .map(|(name, stands_for, net)| {
             eprintln!("running {name} ({} nodes)…", net.stats().nodes);
-            run_both(name, stands_for, &net, &flow, &sis)
+            let row = run_both(name, stands_for, &net, &flow, &sis);
+            if args.live {
+                eprintln!("{}", live_line(&row));
+            }
+            row
         })
         .collect();
     print_rows(

@@ -58,6 +58,9 @@ pub struct Row {
     /// time-ordered span boundaries and decision events behind the
     /// `--perfetto` / `--folded` exports. Empty without `trace`.
     pub journal: Journal,
+    /// Sampled telemetry timeline drained across the same window (one
+    /// sample per `SAMPLE_INTERVAL` ite calls). Empty without `trace`.
+    pub timeline: bds_trace::timeline::Timeline,
 }
 
 fn mapped(net: &Network, lib: &Library) -> MappedNetlist {
@@ -98,6 +101,9 @@ pub fn run_both(
     // Drained after the snapshot: journal timestamps share one epoch
     // across circuits, so stitched exports stay globally ordered.
     let journal = bds_trace::take_journal();
+    // Taken before verification: the verifier's BDD traffic must not
+    // pollute the flow's timeline.
+    let timeline = bds_trace::timeline::take_timeline();
     let bds_mapped = mapped(&bds_net, &lib);
     let bds_stats = bds_net.stats();
 
@@ -140,7 +146,25 @@ pub fn run_both(
         report: bds_report,
         trace,
         journal,
+        timeline,
     }
+}
+
+/// One-line live progress summary for `--live` runs: the headline
+/// numbers a user watches scroll by on stderr while a bench runs.
+#[must_use]
+pub fn live_line(row: &Row) -> String {
+    format!(
+        "{:<14} gates {:>5} area {:>9.1} cpu {:>7.3}s hit-rate {:>5.1}% peak {:>9}B load {:>4.2} [{}]",
+        row.name,
+        row.bds.gates,
+        row.bds.area,
+        row.bds.seconds,
+        row.report.bdd_ops.cache_hit_rate() * 100.0,
+        row.report.peak_arena_bytes,
+        row.report.peak_unique_load,
+        row.verified
+    )
 }
 
 /// Prints a table of rows in the layout of the paper's tables.

@@ -19,6 +19,12 @@
 //! span section carries the per-phase wall times when the `trace` feature
 //! is on. The `summary --compare` mode reads these files back through
 //! [`bds_trace::json::parse`]; no serde anywhere.
+//!
+//! `--telemetry <path>` additionally writes a `bds-telemetry/v1`
+//! document: per-circuit gated metrics (cache hit rate, peak arena
+//! bytes, peak unique-table load) plus the sampled timeline, the file
+//! `cargo xtask perfgate` diffs against `results/TELEMETRY.json`.
+//! `--live` streams a one-line summary per circuit to stderr.
 
 // lint:allow-file(print): CLI usage errors and trace trees go to the console by design
 
@@ -49,6 +55,13 @@ pub struct BenchArgs {
     /// core). `None` keeps [`bds::flow::FlowParams`]'s default, which
     /// honors the `BDS_FLOW_JOBS` environment variable.
     pub jobs: Option<usize>,
+    /// Write a `bds-telemetry/v1` JSON document here: per-circuit gated
+    /// metrics (cache hit rate, peak arena bytes, peak unique-table
+    /// load) plus the sampled timeline.
+    pub telemetry: Option<PathBuf>,
+    /// Print a one-line progress summary per circuit to stderr as rows
+    /// finish, so long runs show a heartbeat.
+    pub live: bool,
 }
 
 impl BenchArgs {
@@ -104,6 +117,11 @@ pub fn parse_args(bench: &str, accept_compare: bool) -> Result<BenchArgs, ExitCo
                 Some(jobs) => out.jobs = Some(jobs),
                 None => return Err(usage(bench, accept_compare, "--jobs needs a count")),
             },
+            "--telemetry" => match args.next() {
+                Some(path) => out.telemetry = Some(PathBuf::from(path)),
+                None => return Err(usage(bench, accept_compare, "--telemetry needs a path")),
+            },
+            "--live" => out.live = true,
             other => {
                 return Err(usage(
                     bench,
@@ -125,7 +143,7 @@ fn usage(bench: &str, accept_compare: bool, problem: &str) -> ExitCode {
     };
     eprintln!(
         "usage: {bench} [--json <path>] [--jobs <n>] [--trace-tree] [--perfetto <path>] \
-         [--folded <path>]{compare}"
+         [--folded <path>] [--telemetry <path>] [--live]{compare}"
     );
     ExitCode::from(2)
 }
@@ -153,6 +171,54 @@ fn flow_result_json(r: &crate::harness::FlowResult) -> Json {
         ("literals".into(), Json::Int(r.literals as u64)),
         ("xor_cells".into(), Json::Int(r.xor_cells as u64)),
         ("mem_proxy".into(), Json::Int(r.mem_proxy as u64)),
+    ])
+}
+
+/// The gated telemetry metrics for one row, in the shape
+/// [`bds_trace::gate::compare_telemetry`] reads: cache hit rate (may
+/// not drop), peak arena bytes and peak unique-table load (may not
+/// grow). All three are deterministic across `--jobs` settings.
+#[must_use]
+pub fn telemetry_json(row: &Row) -> Json {
+    let ops = &row.report.bdd_ops;
+    Json::Obj(vec![
+        ("cache_hit_rate".into(), Json::Num(ops.cache_hit_rate())),
+        (
+            "peak_arena_bytes".into(),
+            Json::Int(row.report.peak_arena_bytes as u64),
+        ),
+        (
+            "peak_unique_load".into(),
+            Json::Num(row.report.peak_unique_load),
+        ),
+    ])
+}
+
+/// Wraps per-circuit telemetry entries in the `bds-telemetry/v1`
+/// envelope: each circuit carries its gated metrics plus the sampled
+/// timeline. Structural timeline fields are identical at any `--jobs`
+/// setting; only `wall_ns` values move.
+#[must_use]
+pub fn telemetry_envelope(bench: &str, jobs: usize, rows: &[Row]) -> Json {
+    let circuits = rows
+        .iter()
+        .map(|row| {
+            Json::Obj(vec![
+                ("name".into(), Json::Str(row.name.clone())),
+                ("telemetry".into(), telemetry_json(row)),
+                ("timeline".into(), row.timeline.to_json()),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        (
+            "schema".into(),
+            Json::Str(bds_trace::gate::TELEMETRY_SCHEMA.into()),
+        ),
+        ("bench".into(), Json::Str(bench.into())),
+        ("trace_enabled".into(), Json::Bool(bds_trace::is_enabled())),
+        ("jobs".into(), Json::Int(jobs as u64)),
+        ("circuits".into(), Json::Arr(circuits)),
     ])
 }
 
@@ -192,6 +258,9 @@ pub fn row_json(row: &Row) -> Json {
         ("bds".into(), flow_result_json(&row.bds)),
         ("decompose".into(), decompose),
         ("bdd_ops".into(), bdd_ops),
+        // Embedded copy of the gated telemetry metrics so plain report
+        // comparisons (`summary --compare`, perfgate) gate them too.
+        ("telemetry".into(), telemetry_json(row)),
         ("trace".into(), row.trace.to_json()),
     ])
 }
@@ -226,6 +295,19 @@ pub fn finish_rows(args: &BenchArgs, bench: &str, rows: &[Row]) -> Result<(), Ex
             args.effective_jobs(),
             rows.iter().map(row_json).collect(),
         );
+        if let Err(err) = write_json(path, &doc) {
+            eprintln!("{bench}: cannot write {}: {err}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("{bench}: wrote {}", path.display());
+    }
+    if let Some(path) = &args.telemetry {
+        if !bds_trace::is_enabled() {
+            eprintln!(
+                "{bench}: note: --telemetry without --features trace records an empty timeline"
+            );
+        }
+        let doc = telemetry_envelope(bench, args.effective_jobs(), rows);
         if let Err(err) = write_json(path, &doc) {
             eprintln!("{bench}: cannot write {}: {err}", path.display());
             return Err(ExitCode::FAILURE);
@@ -309,6 +391,37 @@ mod tests {
         let circuits = back.get("circuits").and_then(Json::as_arr).expect("array");
         assert_eq!(circuits.len(), 1);
         assert_eq!(circuits[0].get("name").and_then(Json::as_str), Some("x"));
+    }
+
+    #[test]
+    fn telemetry_envelope_round_trips_and_gates_against_itself() {
+        let net = bds_circuits::adder::ripple_adder(4);
+        let row = crate::harness::run_both(
+            "add4",
+            "-",
+            &net,
+            &bds::flow::FlowParams::default(),
+            &bds::sis_flow::SisParams::default(),
+        );
+        let doc = telemetry_envelope("t", 1, std::slice::from_ref(&row));
+        let back = parse(&doc.render()).expect("parses");
+        assert_eq!(
+            back.get("schema").and_then(Json::as_str),
+            Some(bds_trace::gate::TELEMETRY_SCHEMA)
+        );
+        let telemetry = back.get("circuits").and_then(Json::as_arr).expect("array")[0]
+            .get("telemetry")
+            .expect("telemetry object");
+        for metric in ["cache_hit_rate", "peak_arena_bytes", "peak_unique_load"] {
+            assert!(telemetry.get(metric).and_then(Json::as_f64).is_some());
+        }
+        let outcome = bds_trace::gate::compare_telemetry(&back, &back).expect("gates");
+        assert!(outcome.passed());
+        assert_eq!(outcome.matched, 1);
+        // The same metrics are embedded in the plain report row, so the
+        // report gate sees them too.
+        let row_doc = row_json(&row);
+        assert!(row_doc.get("telemetry").is_some());
     }
 
     #[test]

@@ -23,6 +23,19 @@ use crate::json::Json;
 /// Report schema accepted by [`compare_reports`].
 pub const REPORT_SCHEMA: &str = "bds-trace-report/v1";
 
+/// Telemetry schema accepted by [`compare_telemetry`].
+pub const TELEMETRY_SCHEMA: &str = "bds-telemetry/v1";
+
+/// Environment variable overriding the wall-time allowance, read by
+/// [`Thresholds::from_env`]. Format `PCT` or `PCT+FLOOR` (e.g. `150` or
+/// `150+0.5` for 150% relative plus 0.5 s absolute slack).
+pub const TOLERANCE_ENV: &str = "BDS_PERFGATE_TOLERANCE";
+
+/// Absolute slack applied when gating floating-point telemetry metrics
+/// (hit rates, load factors): the values are deterministic, but they
+/// pass through `f64` formatting/parsing on the way into a report file.
+const FLOAT_EPSILON: f64 = 1e-6;
+
 /// Per-metric regression tolerances.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Thresholds {
@@ -40,6 +53,50 @@ impl Default for Thresholds {
         Thresholds {
             seconds_pct: 100.0,
             seconds_floor: 0.25,
+        }
+    }
+}
+
+impl Thresholds {
+    /// Parses a `PCT` or `PCT+FLOOR` tolerance spec (`"150"`,
+    /// `"150+0.5"`). `None` for malformed or negative values.
+    #[must_use]
+    pub fn parse(spec: &str) -> Option<Thresholds> {
+        let spec = spec.trim();
+        let (pct_str, floor_str) = match spec.split_once('+') {
+            Some((p, f)) => (p, Some(f)),
+            None => (spec, None),
+        };
+        let seconds_pct: f64 = pct_str.trim().parse().ok()?;
+        let seconds_floor: f64 = match floor_str {
+            Some(f) => f.trim().parse().ok()?,
+            None => Thresholds::default().seconds_floor,
+        };
+        if !seconds_pct.is_finite()
+            || !seconds_floor.is_finite()
+            || seconds_pct < 0.0
+            || seconds_floor < 0.0
+        {
+            return None;
+        }
+        Some(Thresholds {
+            seconds_pct,
+            seconds_floor,
+        })
+    }
+
+    /// The defaults, overridden by [`TOLERANCE_ENV`] when it is set and
+    /// well-formed. A malformed value is an `Err` (with the offending
+    /// spec) rather than a silent fallback: a CI job that *believes* it
+    /// widened the gate must not run with the tight default.
+    ///
+    /// # Errors
+    /// The unparsable spec string.
+    pub fn from_env() -> Result<Thresholds, String> {
+        match std::env::var(TOLERANCE_ENV) {
+            Ok(spec) => Thresholds::parse(&spec)
+                .ok_or_else(|| format!("{TOLERANCE_ENV}={spec:?} (want PCT or PCT+FLOOR)")),
+            Err(_) => Ok(Thresholds::default()),
         }
     }
 }
@@ -176,6 +233,93 @@ pub fn compare_reports(
                 outcome.improved += 1;
             }
         }
+
+        // Telemetry metrics ride along when both sides carry the
+        // object; older baselines without it simply skip the check.
+        if let (Some(bt), Some(ct)) = (base.get("telemetry"), fresh.get("telemetry")) {
+            gate_telemetry(name, bt, ct, &mut outcome);
+        }
+    }
+    Ok(outcome)
+}
+
+/// Gates one circuit's telemetry object: cache hit rate may not drop,
+/// peak arena bytes and peak unique-table load may not grow. All three
+/// are deterministic, so the only slack is [`FLOAT_EPSILON`] on the
+/// two `f64` metrics (report-file round-tripping).
+fn gate_telemetry(name: &str, base: &Json, fresh: &Json, outcome: &mut GateOutcome) {
+    // (metric, lower_is_worse, epsilon)
+    let checks: [(&'static str, bool, f64); 3] = [
+        ("cache_hit_rate", true, FLOAT_EPSILON),
+        ("peak_arena_bytes", false, 0.0),
+        ("peak_unique_load", false, FLOAT_EPSILON),
+    ];
+    for (metric, lower_is_worse, eps) in checks {
+        let (Some(b), Some(c)) = (
+            base.get(metric).and_then(Json::as_f64),
+            fresh.get(metric).and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        let (regressed, limit) = if lower_is_worse {
+            (c < b - eps, b - eps)
+        } else {
+            (c > b + eps, b + eps)
+        };
+        if regressed {
+            outcome.regressions.push(Regression {
+                circuit: name.to_string(),
+                metric,
+                baseline: b,
+                current: c,
+                limit,
+            });
+        } else if (lower_is_worse && c > b) || (!lower_is_worse && c < b) {
+            outcome.improved += 1;
+        }
+    }
+}
+
+/// Gates a fresh `bds-telemetry/v1` document against a baseline one:
+/// circuits are matched by name and their `telemetry` objects compared
+/// with the same rules `compare_reports` applies to embedded telemetry
+/// (hit rate may not drop; peaks may not grow).
+///
+/// # Errors
+/// Returns a description when either document is not a
+/// `bds-telemetry/v1` report with a `circuits` array.
+pub fn compare_telemetry(baseline: &Json, current: &Json) -> Result<GateOutcome, String> {
+    for (doc, which) in [(baseline, "baseline"), (current, "current")] {
+        match doc.get("schema").and_then(Json::as_str) {
+            Some(TELEMETRY_SCHEMA) => {}
+            other => {
+                return Err(format!(
+                    "{which} telemetry has unsupported schema {other:?}"
+                ))
+            }
+        }
+    }
+    let current_circuits = current
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .ok_or("current telemetry has no circuits array")?;
+    baseline
+        .get("circuits")
+        .and_then(Json::as_arr)
+        .ok_or("baseline telemetry has no circuits array")?;
+
+    let mut outcome = GateOutcome::default();
+    for fresh in current_circuits {
+        let Some(name) = fresh.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        let Some(base) = find_circuit(baseline, name) else {
+            continue;
+        };
+        outcome.matched += 1;
+        if let (Some(bt), Some(ct)) = (base.get("telemetry"), fresh.get("telemetry")) {
+            gate_telemetry(name, bt, ct, &mut outcome);
+        }
     }
     Ok(outcome)
 }
@@ -274,5 +418,124 @@ mod tests {
         let bad = Json::Obj(vec![("schema".into(), Json::Str("nope/v9".into()))]);
         assert!(compare_reports(&bad, &good, &Thresholds::default()).is_err());
         assert!(compare_reports(&good, &bad, &Thresholds::default()).is_err());
+    }
+
+    #[test]
+    fn tolerance_spec_parsing() {
+        assert_eq!(
+            Thresholds::parse("150"),
+            Some(Thresholds {
+                seconds_pct: 150.0,
+                seconds_floor: 0.25
+            })
+        );
+        assert_eq!(
+            Thresholds::parse(" 150 + 0.5 "),
+            Some(Thresholds {
+                seconds_pct: 150.0,
+                seconds_floor: 0.5
+            })
+        );
+        assert_eq!(Thresholds::parse(""), None);
+        assert_eq!(Thresholds::parse("abc"), None);
+        assert_eq!(Thresholds::parse("-10"), None);
+        assert_eq!(Thresholds::parse("100+-1"), None);
+        assert_eq!(Thresholds::parse("inf"), None);
+    }
+
+    fn telemetry_obj(hit_rate: f64, bytes: u64, load: f64) -> Json {
+        Json::Obj(vec![
+            ("cache_hit_rate".into(), Json::Num(hit_rate)),
+            ("peak_arena_bytes".into(), Json::Int(bytes)),
+            ("peak_unique_load".into(), Json::Num(load)),
+        ])
+    }
+
+    fn telemetry_doc(rows: &[(&str, f64, u64, f64)]) -> Json {
+        let circuits = rows
+            .iter()
+            .map(|&(name, hit, bytes, load)| {
+                Json::Obj(vec![
+                    ("name".into(), Json::Str(name.into())),
+                    ("telemetry".into(), telemetry_obj(hit, bytes, load)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(TELEMETRY_SCHEMA.into())),
+            ("circuits".into(), Json::Arr(circuits)),
+        ])
+    }
+
+    #[test]
+    fn telemetry_gate_directions() {
+        let base = telemetry_doc(&[("a", 0.40, 1000, 0.50)]);
+        // Identical passes.
+        let outcome = compare_telemetry(&base, &base).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.matched, 1);
+        // Hit rate dropping fails; peaks growing fail.
+        let worse = telemetry_doc(&[("a", 0.35, 1200, 0.60)]);
+        let outcome = compare_telemetry(&base, &worse).unwrap();
+        assert_eq!(outcome.regressions.len(), 3);
+        let metrics: Vec<&str> = outcome.regressions.iter().map(|r| r.metric).collect();
+        assert_eq!(
+            metrics,
+            vec!["cache_hit_rate", "peak_arena_bytes", "peak_unique_load"]
+        );
+        // Hit rate up, peaks down: improvements, not failures.
+        let better = telemetry_doc(&[("a", 0.45, 900, 0.40)]);
+        let outcome = compare_telemetry(&base, &better).unwrap();
+        assert!(outcome.passed());
+        assert_eq!(outcome.improved, 3);
+    }
+
+    #[test]
+    fn telemetry_float_epsilon_absorbs_round_tripping() {
+        let base = telemetry_doc(&[("a", 0.40, 1000, 0.50)]);
+        let jitter = telemetry_doc(&[("a", 0.40 - 1e-9, 1000, 0.50 + 1e-9)]);
+        assert!(compare_telemetry(&base, &jitter).unwrap().passed());
+        // But bytes are exact: one extra byte fails.
+        let bloat = telemetry_doc(&[("a", 0.40, 1001, 0.50)]);
+        assert!(!compare_telemetry(&base, &bloat).unwrap().passed());
+    }
+
+    #[test]
+    fn embedded_telemetry_rides_the_report_gate() {
+        let attach = |doc: Json, hit: f64| {
+            let Json::Obj(mut fields) = doc else {
+                unreachable!()
+            };
+            for (k, v) in &mut fields {
+                if k == "circuits" {
+                    let Json::Arr(circuits) = v else {
+                        unreachable!()
+                    };
+                    for c in circuits {
+                        let Json::Obj(cf) = c else { unreachable!() };
+                        cf.push(("telemetry".into(), telemetry_obj(hit, 1000, 0.5)));
+                    }
+                }
+            }
+            Json::Obj(fields)
+        };
+        let base = attach(report(&[("a", 10, 20, 30, 0.05)]), 0.40);
+        let fresh = attach(report(&[("a", 10, 20, 30, 0.05)]), 0.30);
+        let outcome = compare_reports(&base, &fresh, &Thresholds::default()).unwrap();
+        assert_eq!(outcome.regressions.len(), 1);
+        assert_eq!(outcome.regressions[0].metric, "cache_hit_rate");
+        // A baseline without the object skips the telemetry checks.
+        let old_base = report(&[("a", 10, 20, 30, 0.05)]);
+        assert!(compare_reports(&old_base, &fresh, &Thresholds::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn telemetry_wrong_schema_is_rejected() {
+        let good = telemetry_doc(&[]);
+        let bad = report(&[]);
+        assert!(compare_telemetry(&bad, &good).is_err());
+        assert!(compare_telemetry(&good, &bad).is_err());
     }
 }

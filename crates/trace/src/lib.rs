@@ -7,7 +7,7 @@
 //! external dependencies:
 //!
 //! * a **process-local registry** (one per thread) holding monotonic `u64`
-//!   counters, last-write-wins gauges, and latency histograms with fixed
+//!   counters, peak gauges (the higher value wins), and latency histograms with fixed
 //!   log2 buckets;
 //! * **hierarchical spans** — `span!("flow.eliminate")` returns a guard
 //!   that records wall-clock time into a call tree aggregated by
@@ -87,6 +87,8 @@ pub mod json;
 mod macros;
 mod registry;
 mod span;
+/// Sampled telemetry timeline: deterministic periodic gauge samples.
+pub mod timeline;
 
 pub use journal::{
     absorb_journal, clear_journal, journal_len, record_event, set_journal_capacity, take_journal,
@@ -105,6 +107,7 @@ pub use span::{fmt_duration_ns, span_enter, NoopSpan, SpanGuard, Stopwatch};
 pub fn reset() {
     registry::reset();
     journal::clear_journal();
+    timeline::clear_timeline();
 }
 
 /// `true` when the crate was built with the `enabled` feature, i.e. the

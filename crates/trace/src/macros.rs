@@ -51,7 +51,7 @@ macro_rules! counter_add {
     }};
 }
 
-/// Sets a last-write-wins gauge.
+/// Raises a peak gauge (the higher value wins).
 ///
 /// ```
 /// bds_trace::gauge!("bdd.unique_entries", 1024u64);
@@ -64,7 +64,7 @@ macro_rules! gauge {
     };
 }
 
-/// Sets a last-write-wins gauge. (No-op: `enabled` is off.)
+/// Raises a peak gauge (the higher value wins). (No-op: `enabled` is off.)
 #[cfg(not(feature = "enabled"))]
 #[macro_export]
 macro_rules! gauge {

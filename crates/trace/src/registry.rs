@@ -157,7 +157,7 @@ pub struct SpanSnap {
 pub struct Snapshot {
     /// Monotonic counters, sorted by name.
     pub counters: Vec<(String, u64)>,
-    /// Last-write-wins gauges, sorted by name.
+    /// Peak gauges (the higher value wins), sorted by name.
     pub gauges: Vec<(String, u64)>,
     /// Histograms, sorted by name.
     pub histograms: Vec<(String, Histogram)>,
@@ -543,11 +543,16 @@ pub fn add_counter(name: &'static str, by: u64) {
     });
 }
 
-/// Sets the named gauge to `value` (last write wins).
+/// Raises the named gauge to `value` (the higher value wins). Every
+/// gauge in this workspace is a peak, and [`Snapshot::merge`] already
+/// maxes gauges across workers — keeping the same rule *within* a
+/// thread makes a sequential run and a worker-merged run agree: two
+/// flow candidates running back-to-back on one thread record the same
+/// peak as the same candidates running on two absorbed workers.
 pub fn set_gauge(name: &'static str, value: u64) {
     with(|r| {
         if let Some(v) = r.gauges.get_mut(name) {
-            *v = value;
+            *v = (*v).max(value);
         } else {
             r.gauges.insert(name.to_string(), value);
         }

@@ -134,6 +134,94 @@ fn snapshot_json_round_trips_randomly() {
     });
 }
 
+/// Builds a random snapshot through the real registry pipeline:
+/// counters, gauges, histograms under a small name pool, plus a random
+/// tree of nested spans.
+fn random_snapshot(rng: &mut Rng) -> Snapshot {
+    const NAMES: [&str; 5] = ["flow", "flow.build", "bdd.sift", "net.sweep", "x"];
+    bds_trace::reset();
+    for _ in 0..rng.range_usize(0..16) {
+        let name = NAMES[rng.range_usize(0..NAMES.len())];
+        match rng.range_u32(0..3) {
+            0 => add_counter(name, rng.range_u64(0..1 << 32)),
+            1 => set_gauge(name, rng.range_u64(0..1 << 32)),
+            _ => record_histogram(name, rng.range_u64(0..1 << 32)),
+        }
+    }
+    let mut guards = Vec::new();
+    for _ in 0..rng.range_usize(0..12) {
+        if guards.is_empty() || rng.bool() {
+            guards.push(bds_trace::span_enter(
+                NAMES[rng.range_usize(0..NAMES.len())],
+            ));
+        } else {
+            guards.pop();
+        }
+    }
+    guards.clear();
+    bds_trace::take_snapshot()
+}
+
+/// Sorts sibling spans by name, recursively. Span *values* merge keyed
+/// by `(parent, name)`, but sibling *order* is first-entered (self's
+/// order, then other's new names), so comparing merges from different
+/// operand orders needs an order-insensitive view.
+fn canonicalize_spans(spans: &mut [bds_trace::SpanSnap]) {
+    for s in spans.iter_mut() {
+        canonicalize_spans(&mut s.children);
+    }
+    spans.sort_by(|a, b| a.name.cmp(&b.name));
+}
+
+fn canonical(mut snap: Snapshot) -> Snapshot {
+    canonicalize_spans(&mut snap.spans);
+    snap
+}
+
+fn merged(a: &Snapshot, b: &Snapshot) -> Snapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// `Snapshot::merge` is commutative and associative up to sibling-span
+/// order: counters sum, gauges keep the max, histograms add bucket-wise
+/// and span trees merge keyed by `(parent, name)`. This is what makes
+/// the sharded flow's fixed-worker-order fold deterministic — any
+/// grouping of the same worker snapshots yields the same metrics.
+#[test]
+fn snapshot_merge_is_commutative_and_associative() {
+    check_cases("merge-algebra", 24, |rng: &mut Rng| {
+        let a = random_snapshot(rng);
+        let b = random_snapshot(rng);
+        let c = random_snapshot(rng);
+
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        assert_eq!(ab.counters, ba.counters, "counter sums depend on order");
+        assert_eq!(ab.gauges, ba.gauges, "gauge maxima depend on order");
+        assert_eq!(
+            ab.histograms, ba.histograms,
+            "histogram adds depend on order"
+        );
+        assert_eq!(
+            canonical(ab.clone()).spans,
+            canonical(ba).spans,
+            "span values depend on merge order"
+        );
+
+        let ab_c = merged(&ab, &c);
+        let a_bc = merged(&a, &merged(&b, &c));
+        assert_eq!(ab_c.counters, a_bc.counters);
+        assert_eq!(ab_c.gauges, a_bc.gauges);
+        assert_eq!(ab_c.histograms, a_bc.histograms);
+        assert_eq!(canonical(ab_c).spans, canonical(a_bc).spans);
+
+        // Merging an empty snapshot is the identity.
+        assert_eq!(merged(&a, &Snapshot::default()), a);
+    });
+}
+
 /// Golden check: a fixed report, in the exact envelope the bench
 /// binaries write, parses with the hand parser and yields the expected
 /// values — guarding the on-disk schema against accidental drift.

@@ -33,6 +33,17 @@
 //!   (only wall time may differ between thread counts). Zero matched circuits is also a failure: a gate
 //!   that compares nothing protects nothing. The fresh report is left at
 //!   `target/perfgate/fresh.json` so CI can upload it as an artifact.
+//!   The wall-time allowance honors `BDS_PERFGATE_TOLERANCE`
+//!   (`PCT` or `PCT+FLOOR`, e.g. `150+0.5`).
+//!
+//!   When a telemetry baseline exists (`results/TELEMETRY.json`,
+//!   override with `--telemetry-baseline <path>`), the fresh run also
+//!   writes `target/perfgate/telemetry.json` and gates the engine
+//!   metrics — cache hit rate may not drop, peak arena bytes and peak
+//!   unique-table load may not grow — through
+//!   [`bds_trace::gate::compare_telemetry`]. All three are
+//!   deterministic across `--jobs` settings, so the telemetry gate is
+//!   exact (modulo float round-tripping).
 
 #![forbid(unsafe_code)]
 
@@ -51,6 +62,7 @@ fn main() -> ExitCode {
             eprintln!("  ci        fmt --check, clippy -D warnings, custom lints, tests");
             eprintln!("  perfgate  gate a fresh table1 run against the checked-in baseline");
             eprintln!("            [--baseline <report.json>] [--fresh <report.json>]");
+            eprintln!("            [--telemetry-baseline <telemetry.json>] [--jobs <n>]");
             ExitCode::from(2)
         }
     }
@@ -199,9 +211,17 @@ const FRESH_REPORT: &str = "target/perfgate/fresh.json";
 /// Default baseline: the checked-in trace-enabled `table1` report.
 const BASELINE_REPORT: &str = "results/BENCH_flow.json";
 
+/// Where `perfgate` leaves the freshly generated telemetry document
+/// (relative to the workspace root) so CI can upload it as an artifact.
+const FRESH_TELEMETRY: &str = "target/perfgate/telemetry.json";
+
+/// Default telemetry baseline: the checked-in `bds-telemetry/v1` file.
+const TELEMETRY_BASELINE: &str = "results/TELEMETRY.json";
+
 fn run_perfgate(args: &[String]) -> ExitCode {
     let root = workspace_root();
     let mut baseline = root.join(BASELINE_REPORT);
+    let mut telemetry_baseline = root.join(TELEMETRY_BASELINE);
     let mut fresh: Option<PathBuf> = None;
     let mut jobs: Option<String> = None;
     let mut it = args.iter();
@@ -210,6 +230,10 @@ fn run_perfgate(args: &[String]) -> ExitCode {
             "--baseline" => match it.next() {
                 Some(p) => baseline = PathBuf::from(p),
                 None => return perfgate_usage("--baseline needs a path"),
+            },
+            "--telemetry-baseline" => match it.next() {
+                Some(p) => telemetry_baseline = PathBuf::from(p),
+                None => return perfgate_usage("--telemetry-baseline needs a path"),
             },
             "--fresh" => match it.next() {
                 Some(p) => fresh = Some(PathBuf::from(p)),
@@ -226,6 +250,9 @@ fn run_perfgate(args: &[String]) -> ExitCode {
         return perfgate_usage("--jobs only applies when perfgate runs table1 itself");
     }
 
+    // Telemetry is only regenerated when perfgate runs table1 itself; a
+    // pre-generated `--fresh` report carries no timeline file to diff.
+    let mut fresh_telemetry: Option<PathBuf> = None;
     let fresh = match fresh {
         Some(path) => path,
         None => {
@@ -247,6 +274,8 @@ fn run_perfgate(args: &[String]) -> ExitCode {
                 "--",
                 "--json",
                 FRESH_REPORT,
+                "--telemetry",
+                FRESH_TELEMETRY,
             ];
             if let Some(n) = &jobs {
                 cargo_args.push("--jobs");
@@ -256,6 +285,7 @@ fn run_perfgate(args: &[String]) -> ExitCode {
                 eprintln!("perfgate: table1 run failed");
                 return ExitCode::FAILURE;
             }
+            fresh_telemetry = Some(root.join(FRESH_TELEMETRY));
             out
         }
     };
@@ -281,7 +311,13 @@ fn run_perfgate(args: &[String]) -> ExitCode {
         }
     };
 
-    let thresholds = bds_trace::gate::Thresholds::default();
+    let thresholds = match bds_trace::gate::Thresholds::from_env() {
+        Ok(thresholds) => thresholds,
+        Err(err) => {
+            eprintln!("perfgate: invalid tolerance: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
     let outcome = match bds_trace::gate::compare_reports(&baseline_doc, &fresh_doc, &thresholds) {
         Ok(outcome) => outcome,
         Err(err) => {
@@ -298,13 +334,54 @@ fn run_perfgate(args: &[String]) -> ExitCode {
         );
         return ExitCode::FAILURE;
     }
-    if outcome.passed() {
+
+    // Engine-telemetry gate: exact comparison of cache hit rate and the
+    // memory peaks when both the checked-in baseline and a fresh
+    // telemetry document exist.
+    let mut telemetry_failed = false;
+    match &fresh_telemetry {
+        Some(fresh_path) if telemetry_baseline.exists() => {
+            match gate_telemetry(&telemetry_baseline, fresh_path) {
+                Ok(passed) => telemetry_failed = !passed,
+                Err(err) => {
+                    eprintln!("perfgate: telemetry gate: {err}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        Some(_) => println!(
+            "perfgate: no telemetry baseline at {} — skipping the telemetry gate",
+            telemetry_baseline.display()
+        ),
+        None => println!("perfgate: --fresh given — skipping the telemetry gate"),
+    }
+
+    if outcome.passed() && !telemetry_failed {
         println!("perfgate: OK");
         ExitCode::SUCCESS
     } else {
         eprintln!("perfgate: FAILED");
         ExitCode::FAILURE
     }
+}
+
+/// Runs the telemetry gate between two `bds-telemetry/v1` files.
+/// Returns `Ok(true)` when it passed.
+fn gate_telemetry(baseline: &Path, fresh: &Path) -> Result<bool, String> {
+    let baseline_doc =
+        load_report(baseline).map_err(|e| format!("cannot load {}: {e}", baseline.display()))?;
+    let fresh_doc =
+        load_report(fresh).map_err(|e| format!("cannot load {}: {e}", fresh.display()))?;
+    let outcome = bds_trace::gate::compare_telemetry(&baseline_doc, &fresh_doc)?;
+    print!("telemetry {}", outcome.render());
+    if outcome.matched == 0 {
+        return Err(format!(
+            "no circuits in common between {} and {} — refusing to pass an empty gate",
+            baseline.display(),
+            fresh.display()
+        ));
+    }
+    Ok(outcome.passed())
 }
 
 fn load_report(path: &Path) -> Result<bds_trace::json::Json, String> {
@@ -316,7 +393,7 @@ fn perfgate_usage(problem: &str) -> ExitCode {
     eprintln!("perfgate: {problem}");
     eprintln!(
         "usage: cargo xtask perfgate [--baseline <report.json>] [--fresh <report.json>] \
-         [--jobs <n>]"
+         [--telemetry-baseline <telemetry.json>] [--jobs <n>]"
     );
     ExitCode::from(2)
 }
