@@ -19,6 +19,7 @@ mod metrics;
 mod panics;
 mod timing;
 mod unsafe_root;
+mod unwind;
 
 /// Per-file context handed to every rule.
 pub struct FileCx<'a> {
@@ -146,6 +147,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(concurrency::StaticMutRule),
         Box::new(concurrency::LockRule),
         Box::new(concurrency::ThreadSpawnRule),
+        Box::new(unwind::UnwindRule),
         Box::new(unsafe_root::ForbidUnsafeRule),
         Box::new(metrics::MetricNameRule),
     ]

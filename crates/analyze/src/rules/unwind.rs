@@ -1,0 +1,47 @@
+//! Unwind-boundary lint.
+//!
+//! The robustness design (DESIGN.md §11) allows exactly one panic
+//! quarantine in library code: the per-supernode worker isolation in
+//! `bds-core/src/flow.rs`, which pairs `catch_unwind` with a
+//! deterministic trace restore and converts the payload into
+//! `NetworkError::WorkerPanic`. A `catch_unwind` anywhere else is a
+//! second, unaudited boundary — it can swallow invariant violations and
+//! strand thread-local trace state mid-span.
+
+use super::{Diagnostic, FileCx, Rule};
+
+/// `catch_unwind`/`resume_unwind` calls banned outside the flow's
+/// sanctioned quarantine.
+pub struct UnwindRule;
+
+impl Rule for UnwindRule {
+    fn name(&self) -> &'static str {
+        "unwind"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        cx.class.library && cx.rel_s != "crates/bds-core/src/flow.rs"
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if cx.in_test(i) {
+                continue;
+            }
+            // Call sites only: a `use std::panic::catch_unwind;` import
+            // is harmless until invoked.
+            if (cx.is_ident(i, "catch_unwind") || cx.is_ident(i, "resume_unwind"))
+                && cx.is_punct(i + 1, '(')
+            {
+                out.push(cx.diag_at(
+                    i,
+                    self.name(),
+                    format!("`{}` outside the sanctioned quarantine", cx.stext(i)),
+                    "panic isolation belongs to the worker quarantine in bds-core \
+                     `flow.rs` (trace restore + structured `WorkerPanic`); let panics \
+                     propagate to it, or justify with `// lint:allow(unwind) — <reason>`",
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,4 @@
+//@path: crates/bds-core/src/flow.rs
+fn quarantine() {
+    let _ = std::panic::catch_unwind(|| {});
+}

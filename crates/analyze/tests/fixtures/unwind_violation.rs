@@ -1,0 +1,4 @@
+//@path: crates/bdd/src/demo.rs
+fn swallow() {
+    let _ = std::panic::catch_unwind(|| {});
+}

@@ -117,6 +117,7 @@ fn every_rule_has_fixture_coverage() {
         "static-mut",
         "lock",
         "thread-spawn",
+        "unwind",
         "forbid-unsafe",
         "metric-name",
         "stale-allow",

@@ -24,6 +24,7 @@ impl Manager {
     /// (shallow = cold first touch, deep = the cache thrashing inside a
     /// recursion).
     fn ite_rec(&mut self, f: Edge, g: Edge, h: Edge, depth: u32) -> Result<Edge> {
+        self.charge(crate::OpClass::Ite)?;
         self.ops.ite_calls += 1;
         if bds_trace::is_enabled()
             && self

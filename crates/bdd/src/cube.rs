@@ -78,8 +78,7 @@ impl Manager {
     pub fn cube(&mut self, cube: &Cube) -> Result<Edge> {
         let mut acc = Edge::ONE;
         for &(v, p) in cube.literals() {
-            self.check_var(v)?;
-            let lit = self.literal(v, p);
+            let lit = self.literal_checked(v, p)?;
             acc = self.and(acc, lit)?;
         }
         Ok(acc)

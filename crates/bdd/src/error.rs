@@ -3,6 +3,29 @@
 use std::error::Error;
 use std::fmt;
 
+/// The class of manager operation that consumed the effort tick which
+/// tripped a budget (see [`BddError::BudgetExceeded`]).
+///
+/// Effort ticks are *deterministic*: one tick per ITE recursion step and
+/// one per fresh unique-table insertion, never wall clock, so a budget
+/// trips at the same tick on every run regardless of thread count.
+#[derive(Debug, Copy, Clone, PartialEq, Eq)]
+pub enum OpClass {
+    /// A step of the memoized ITE recursion.
+    Ite,
+    /// A fresh node insertion into the unique table.
+    UniqueInsert,
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpClass::Ite => write!(f, "ite"),
+            OpClass::UniqueInsert => write!(f, "unique-insert"),
+        }
+    }
+}
+
 /// Errors reported by BDD operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -33,6 +56,18 @@ pub enum BddError {
         /// Description of the violated invariant.
         detail: String,
     },
+    /// The manager's deterministic effort budget was exhausted (see
+    /// [`crate::Manager::set_effort_limit`]). Like [`BddError::NodeLimit`]
+    /// this is a back-pressure signal, not a failure: callers retreat to a
+    /// cheaper strategy (the degradation ladder in `bds-core`).
+    BudgetExceeded {
+        /// Effort ticks spent when the budget tripped.
+        spent: u64,
+        /// The configured effort limit.
+        limit: u64,
+        /// The operation class whose tick tripped the budget.
+        op: OpClass,
+    },
 }
 
 impl fmt::Display for BddError {
@@ -50,6 +85,12 @@ impl fmt::Display for BddError {
             BddError::BadVarMap { detail } => write!(f, "invalid variable map: {detail}"),
             BddError::InvariantViolation { detail } => {
                 write!(f, "bdd invariant violated: {detail}")
+            }
+            BddError::BudgetExceeded { spent, limit, op } => {
+                write!(
+                    f,
+                    "bdd effort budget of {limit} ticks exceeded at {spent} ({op} step)"
+                )
             }
         }
     }
@@ -70,6 +111,25 @@ mod tests {
             var_count: 2,
         };
         assert!(e.to_string().contains("v3"));
+    }
+
+    #[test]
+    fn budget_display_names_the_op_class() {
+        let e = BddError::BudgetExceeded {
+            spent: 101,
+            limit: 100,
+            op: OpClass::Ite,
+        };
+        assert_eq!(
+            e.to_string(),
+            "bdd effort budget of 100 ticks exceeded at 101 (ite step)"
+        );
+        let e = BddError::BudgetExceeded {
+            spent: 7,
+            limit: 5,
+            op: OpClass::UniqueInsert,
+        };
+        assert!(e.to_string().contains("unique-insert"));
     }
 
     #[test]

@@ -69,7 +69,7 @@ impl Manager {
         cubes.extend(c0.iter().map(|c| c.with_lit(var, false)));
         cubes.extend(c1.iter().map(|c| c.with_lit(var, true)));
         cubes.extend(cd.iter().cloned());
-        let lit = self.literal_level(level);
+        let lit = self.literal_level(level)?;
         let vb0 = self.ite(lit, Edge::ZERO, b0)?;
         let vb1 = self.ite(lit, b1, Edge::ZERO)?;
         let mut cover = self.or(vb0, vb1)?;
@@ -80,10 +80,11 @@ impl Manager {
     }
 
     /// The positive literal of the variable at `level` (helper that avoids
-    /// borrowing issues in ISOP).
-    fn literal_level(&mut self, level: u32) -> Edge {
+    /// borrowing issues in ISOP). Fallible so a budget or injected fault
+    /// tripping mid-extraction surfaces as an `Err`, not a panic.
+    fn literal_level(&mut self, level: u32) -> Result<Edge> {
         let var = self.var_at(level);
-        self.literal(var, true)
+        self.literal_checked(var, true)
     }
 }
 

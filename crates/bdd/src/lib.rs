@@ -62,6 +62,8 @@
 #![warn(missing_docs)]
 
 mod apply;
+/// Deterministic effort budgets and fault injection.
+pub mod budget;
 mod cofactor;
 mod count;
 mod cube;
@@ -79,9 +81,10 @@ mod stats;
 /// Cross-manager BDD transfer (rebuild under a new variable order).
 pub mod transfer;
 
+pub use budget::Fault;
 pub use cube::Cube;
 pub use edge::{Edge, Var};
-pub use error::BddError;
+pub use error::{BddError, OpClass};
 pub use invariants::STRICT_CHECKS;
 pub use manager::Manager;
 pub use stats::{OpStats, TableStats};

@@ -50,6 +50,12 @@ pub struct Manager {
     /// level -> var index.
     pub(crate) var_at_level: Vec<u32>,
     node_limit: usize,
+    /// Deterministic effort ticks consumed so far (see `budget.rs`).
+    pub(crate) effort_spent: u64,
+    /// Effort tick ceiling; `u64::MAX` means unbudgeted.
+    pub(crate) effort_limit: u64,
+    /// Armed fault injection: `(fault, absolute trip tick)`. Fires once.
+    pub(crate) armed_fault: Option<(crate::budget::Fault, u64)>,
     /// Lifetime operation counters (see [`crate::TableStats`]).
     pub(crate) ops: OpStats,
 }
@@ -79,6 +85,9 @@ impl Manager {
             level_of_var: Vec::new(),
             var_at_level: Vec::new(),
             node_limit: limit,
+            effort_spent: 0,
+            effort_limit: u64::MAX,
+            armed_fault: None,
             ops: OpStats::default(),
         }
     }
@@ -228,6 +237,7 @@ impl Manager {
             self.ops.unique_hits += 1;
             return Ok(Edge::new(idx, false));
         }
+        self.charge(crate::OpClass::UniqueInsert)?;
         if self.nodes.len() >= self.node_limit {
             return Err(BddError::NodeLimit {
                 limit: self.node_limit,

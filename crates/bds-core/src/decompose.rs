@@ -231,7 +231,7 @@ impl Decomposer {
             None => {
                 // Fallback: Shannon cofactor on the top variable.
                 // lint:allow(panic) — decompose() rejects constant functions on entry
-                let d = shannon(mgr, f).expect("non-constant function");
+                let d = shannon(mgr, f)?.expect("non-constant function");
                 self.stats.shannon += 1;
                 note_choice(mgr, "shannon", 1, Some(d.control), size, (d.hi, d.lo));
                 let hi = self.decompose(mgr, d.hi, forest, params)?;

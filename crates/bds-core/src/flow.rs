@@ -17,18 +17,20 @@
 //! [`optimize`] picks automatically: it attempts the global build under a
 //! node budget and falls back to partitioned mode.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use bds_bdd::reorder::{sift, SiftLimits};
-use bds_bdd::{Manager, OpStats};
+use bds_bdd::{BddError, Fault, Manager, OpStats};
 use bds_network::{EliminateParams, Network, NetworkError, SignalId};
+use bds_sop::{Cover, Expr};
 use bds_trace::Stopwatch;
 
 use bds_map::{map_network, Library};
 
 use crate::decompose::{DecomposeParams, DecomposeStats, Decomposer};
 use crate::factor_tree::{FactorForest, FactorRef};
-use crate::sharing::{alias, emit_forest};
+use crate::sharing::{alias, emit_expr, emit_forest};
 
 /// Which flow variant produced a result.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -72,6 +74,9 @@ pub struct FlowParams {
     /// gauges — is identical for every `jobs` setting; only wall-clock
     /// fields may differ.
     pub jobs: usize,
+    /// Resource governance: per-supernode effort budget, degradation
+    /// ladder, and fault injection (see [`GovernParams`]).
+    pub govern: GovernParams,
 }
 
 impl Default for FlowParams {
@@ -85,8 +90,65 @@ impl Default for FlowParams {
             sdc: None,
             global_blowup_factor: 1,
             jobs: default_jobs(),
+            govern: GovernParams::default(),
         }
     }
+}
+
+/// Deterministic resource governance for the partitioned flow.
+///
+/// Effort is counted in the BDD manager's deterministic *effort ticks*
+/// (one per ITE step, one per fresh unique-table insertion — see
+/// [`bds_bdd::budget`]), never wall clock, so a budget trips at exactly
+/// the same point at any [`FlowParams::jobs`] setting and the flow's
+/// byte-identical determinism contract survives budgeting, degradation,
+/// and fault injection alike.
+#[derive(Clone, Debug)]
+pub struct GovernParams {
+    /// Effort-tick budget for each rung attempt of a supernode's
+    /// decomposition (`0` = unbudgeted). The budget spans the local-BDD
+    /// build and decompose phases cumulatively; reorder scratch managers
+    /// run unbudgeted (sifting already bounds itself via
+    /// [`SiftLimits::max_nodes`]).
+    pub supernode_budget: u64,
+    /// Walk down the degradation ladder on BDD back-pressure
+    /// ([`BddError::NodeLimit`] / [`BddError::BudgetExceeded`]) instead
+    /// of failing the whole flow: full pipeline → no-reorder retry under
+    /// a fresh budget → algebraic SOP refactor → verbatim original
+    /// cover. Panics never degrade; they surface as
+    /// [`NetworkError::WorkerPanic`].
+    pub degrade: bool,
+    /// The SOP rung refactors the original cover only when it has at
+    /// most this many cubes; larger covers fall through to the verbatim
+    /// rung (algebraic factoring is quadratic-ish in cube count).
+    pub sop_cube_limit: usize,
+    /// Fault-injection plan for the chaos suite. `None` — the default —
+    /// leaves every code path byte-identical to an ungoverned run.
+    pub inject: Option<FaultPlan>,
+}
+
+impl Default for GovernParams {
+    fn default() -> Self {
+        GovernParams {
+            supernode_budget: 0,
+            degrade: true,
+            sop_cube_limit: 64,
+            inject: None,
+        }
+    }
+}
+
+/// A seeded fault-injection plan: fire `fault` inside the decomposition
+/// of one supernode once its manager's effort clock reaches `at_tick`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Target supernode, taken modulo the candidate's supernode count
+    /// (so one plan is meaningful for any circuit size).
+    pub supernode: usize,
+    /// The fault to fire (see [`bds_bdd::Fault`]).
+    pub fault: Fault,
+    /// Absolute effort tick at which the fault fires.
+    pub at_tick: u64,
 }
 
 /// Default worker count: the `BDS_FLOW_JOBS` environment variable when
@@ -135,6 +197,10 @@ pub struct FlowReport {
     /// Peak unique-table load factor observed at phase boundaries
     /// across the flow's managers, in `[0, 1]`. Deterministic.
     pub peak_unique_load: f64,
+    /// Supernodes that retreated down the degradation ladder (any rung
+    /// below the full pipeline). `0` unless a budget, node limit, or
+    /// injected fault forced a retreat. Deterministic.
+    pub degraded: usize,
 }
 
 /// Runs the full BDS flow on `net` and returns the optimized network
@@ -405,19 +471,39 @@ pub fn optimize_global(
             bdd_ops: ops,
             peak_arena_bytes: build_bytes.max(decompose_bytes),
             peak_unique_load: peak_load,
+            degraded: 0,
         },
     ))
 }
 
+/// The logic a supernode's (possibly degraded) decomposition produced,
+/// in whichever form the ladder rung that succeeded emits.
+enum ArtifactBody {
+    /// Full BDD decomposition: a factoring forest plus its root (rungs
+    /// 0 and 1).
+    Forest {
+        /// Factoring forest holding this node's decomposition.
+        forest: FactorForest,
+        /// Root of the decomposition within `forest`.
+        root: FactorRef,
+    },
+    /// Algebraic SOP fallback (rung 2): the original cover refactored
+    /// by `bds-sop`'s kernel-based factoring.
+    Factored(Expr),
+    /// Last rung: the original cover, kept verbatim.
+    Verbatim(Cover),
+}
+
 /// Everything a supernode's decomposition produces, independent of the
 /// output network: the pure, parallelizable part of the partitioned
-/// flow. Plain data (forest + counters), so shards cross thread
+/// flow. Plain data (logic body + counters), so shards cross thread
 /// boundaries freely.
 struct NodeArtifact {
-    /// Factoring forest holding this node's decomposition.
-    forest: FactorForest,
-    /// Root of the decomposition within `forest`.
-    root: FactorRef,
+    /// The produced logic, shaped by the ladder rung that succeeded.
+    body: ArtifactBody,
+    /// Degradation-ladder rung that produced `body` (`0` = full
+    /// pipeline, `1` = no-reorder retry, `2` = SOP, `3` = verbatim).
+    rung: u8,
     /// Decomposition step counts for this node.
     stats: DecomposeStats,
     /// BDD operation counters from this node's managers.
@@ -437,24 +523,57 @@ struct NodeArtifact {
     peak_load: f64,
 }
 
+impl NodeArtifact {
+    /// An artifact for a degraded rung that never touched a BDD manager
+    /// (SOP or verbatim): all counters zero.
+    fn degraded(body: ArtifactBody, rung: u8) -> NodeArtifact {
+        NodeArtifact {
+            body,
+            rung,
+            stats: DecomposeStats::default(),
+            ops: OpStats::default(),
+            peak: 0,
+            peak_unique: 0,
+            peak_computed: 0,
+            build_bytes: 0,
+            decompose_bytes: 0,
+            peak_load: 0.0,
+        }
+    }
+}
+
 /// Runs one supernode through the local-BDD pipeline — build → sift →
 /// decompose — on the calling thread, touching nothing but its own
 /// fresh [`Manager`], [`Decomposer`], and [`FactorForest`]. Because no
 /// state crosses from one supernode to the next, the result is
 /// bit-identical whether the calls happen on one thread or many: the
 /// determinism the sharded driver is built on.
-fn decompose_supernode(
+///
+/// One ladder rung's attempt: `sift_limits` selects the reordering
+/// effort, `fault` is the injection to arm (if this supernode is the
+/// plan's target), and [`GovernParams::supernode_budget`] bounds the
+/// build and decompose phases cumulatively.
+fn decompose_supernode_bdd(
     work: &Network,
     sig: SignalId,
     fanins: &[SignalId],
     params: &FlowParams,
+    sift_limits: SiftLimits,
+    fault: Option<(Fault, u64)>,
 ) -> Result<NodeArtifact, NetworkError> {
     // Timeline samples from this supernode's managers (including sift
     // scratch managers) are keyed by its signal index; the budget
     // resets here, so sample bounds are per supernode, not per thread.
     bds_trace::timeline::set_scope(sig.index() as u64);
+    let budget = params.govern.supernode_budget;
     let mut ops = OpStats::default();
     let mut mgr = Manager::new();
+    if budget > 0 {
+        mgr.set_effort_limit(budget);
+    }
+    if let Some((f, tick)) = fault {
+        mgr.arm_fault(f, tick);
+    }
     let vars: Vec<bds_bdd::Var> = fanins
         .iter()
         .map(|&f| mgr.new_var(work.signal_name(f)))
@@ -467,10 +586,24 @@ fn decompose_supernode(
     let build_table = mgr.table_stats();
     let build_bytes = build_table.estimated_bytes();
     let mut peak_load = build_table.unique_load_factor();
+    let spent = mgr.effort_spent();
     let (mut mgr, edges) = {
         let _span = bds_trace::span!("flow.reorder");
-        sift(&mgr, &[edge], params.sift).map_err(NetworkError::Bdd)?
+        sift(&mgr, &[edge], sift_limits).map_err(NetworkError::Bdd)?
     };
+    // Sift scratch managers (and the rebuild that produced `mgr`) run
+    // unbudgeted; the rung's budget resumes cumulatively here, so an
+    // error after this point still reports cumulative tick numbers and
+    // an armed fault still fires at its absolute tick.
+    if budget > 0 {
+        mgr.set_effort_limit(budget);
+    }
+    mgr.seed_effort(spent);
+    if let Some((f, tick)) = fault {
+        if spent < tick {
+            mgr.arm_fault(f, tick);
+        }
+    }
     let edge = edges[0];
     let peak = mgr.arena_size();
     peak_load = peak_load.max(mgr.table_stats().unique_load_factor());
@@ -504,8 +637,8 @@ fn decompose_supernode(
         }
     }
     Ok(NodeArtifact {
-        forest,
-        root,
+        body: ArtifactBody::Forest { forest, root },
+        rung: 0,
         stats: dec.stats,
         ops,
         peak,
@@ -515,6 +648,162 @@ fn decompose_supernode(
         decompose_bytes,
         peak_load,
     })
+}
+
+/// Why a rung retreated, as a static label for the degrade journal
+/// event (static so the event costs nothing to construct).
+fn degrade_reason(e: &BddError) -> &'static str {
+    match e {
+        BddError::BudgetExceeded { .. } => "budget",
+        BddError::NodeLimit { .. } => "node-limit",
+        _ => "bdd-error",
+    }
+}
+
+/// Records one degradation: a per-rung counter plus a journal event
+/// naming the supernode, rung, and reason.
+fn record_degrade(sig: SignalId, rung: u8, reason: &'static str) {
+    match rung {
+        1 => bds_trace::counter_add!("flow.degrade.noreorder", 1),
+        2 => bds_trace::counter_add!("flow.degrade.sop", 1),
+        _ => bds_trace::counter_add!("flow.degrade.verbatim", 1),
+    }
+    bds_trace::event!(
+        "decompose.degrade",
+        node = sig.index() as u64,
+        rung = u64::from(rung),
+        reason = reason,
+    );
+}
+
+/// Runs one rung attempt under panic quarantine. The calling thread's
+/// trace state (span registry, journal, timeline) is put aside first
+/// and reinstated afterwards; on a panic the attempt's own partial
+/// recordings are discarded wholesale, so a panicked supernode leaves
+/// the merged trace exactly as if it had never run — deterministically,
+/// because the discarded delta is precisely the attempt's recordings
+/// and nothing else runs on this thread meanwhile. The panic payload is
+/// converted into [`NetworkError::WorkerPanic`]; the ladder never
+/// degrades past a panic (a panic is a bug or an injected fault, not
+/// back-pressure).
+fn run_quarantined<T>(
+    work: &Network,
+    sig: SignalId,
+    attempt: impl FnOnce() -> T,
+) -> Result<T, NetworkError> {
+    let before_spans = bds_trace::take_snapshot_in_flight();
+    let before_journal = bds_trace::take_journal();
+    let before_timeline = bds_trace::timeline::take_timeline();
+    let outcome = catch_unwind(AssertUnwindSafe(attempt));
+    let after_spans = bds_trace::take_snapshot_in_flight();
+    let after_journal = bds_trace::take_journal();
+    let after_timeline = bds_trace::timeline::take_timeline();
+    bds_trace::restore_snapshot(&before_spans);
+    bds_trace::absorb_journal(before_journal);
+    bds_trace::timeline::absorb_timeline(before_timeline);
+    match outcome {
+        Ok(v) => {
+            bds_trace::restore_snapshot(&after_spans);
+            bds_trace::absorb_journal(after_journal);
+            bds_trace::timeline::absorb_timeline(after_timeline);
+            Ok(v)
+        }
+        Err(payload) => {
+            // Poison-proofing: the panicked attempt's partial trace
+            // (`after_*`) is dropped, never merged.
+            drop((after_spans, after_journal, after_timeline));
+            let detail = if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            Err(NetworkError::WorkerPanic {
+                node: work.signal_name(sig).to_string(),
+                detail,
+            })
+        }
+    }
+}
+
+/// The fault to arm for item `index` of `total` supernodes, if the
+/// governance plan targets it (plan index taken modulo `total`).
+fn fault_for(govern: &GovernParams, index: usize, total: usize) -> Option<(Fault, u64)> {
+    let plan = govern.inject.as_ref()?;
+    (total > 0 && plan.supernode % total == index).then_some((plan.fault, plan.at_tick))
+}
+
+/// Decomposes one supernode, walking the degradation ladder on BDD
+/// back-pressure (paper §IV's graceful-retreat strategy, carried below
+/// the global/partitioned split):
+///
+/// 0. full pipeline (configured reordering, fresh budget),
+/// 1. retry without reordering under a fresh budget — the cheapest BDD
+///    form that still decomposes,
+/// 2. algebraic SOP refactor of the original cover (no BDDs at all),
+/// 3. the original cover verbatim.
+///
+/// Only [`NetworkError::Bdd`] back-pressure descends the ladder (and
+/// only when [`GovernParams::degrade`] is on); panics are quarantined
+/// into [`NetworkError::WorkerPanic`] and fail the supernode outright,
+/// and every other error propagates unchanged.
+fn decompose_supernode(
+    work: &Network,
+    sig: SignalId,
+    fanins: &[SignalId],
+    params: &FlowParams,
+    fault: Option<(Fault, u64)>,
+) -> Result<NodeArtifact, NetworkError> {
+    // Rung 0: the full pipeline.
+    let first = run_quarantined(work, sig, || {
+        decompose_supernode_bdd(work, sig, fanins, params, params.sift, fault)
+    })?;
+    let reason = match first {
+        Ok(artifact) => return Ok(artifact),
+        Err(NetworkError::Bdd(ref e)) if params.govern.degrade => degrade_reason(e),
+        Err(other) => return Err(other),
+    };
+
+    // Rung 1: no reordering, fresh budget. `max_nodes: 0` makes `sift`
+    // fall back to a plain same-order rebuild.
+    let no_reorder = SiftLimits {
+        max_nodes: 0,
+        max_vars: 0,
+        passes: 0,
+    };
+    let second = run_quarantined(work, sig, || {
+        decompose_supernode_bdd(work, sig, fanins, params, no_reorder, fault)
+    })?;
+    match second {
+        Ok(mut artifact) => {
+            artifact.rung = 1;
+            record_degrade(sig, 1, reason);
+            return Ok(artifact);
+        }
+        Err(NetworkError::Bdd(_)) => {}
+        Err(other) => return Err(other),
+    }
+
+    // Rungs 2 and 3 rebuild from the original cover without BDDs, so
+    // they cannot trip a budget and always succeed.
+    let Some((_, cover)) = work.node(sig) else {
+        return Err(NetworkError::Inconsistent {
+            detail: format!("supernode `{}` has no cover", work.signal_name(sig)),
+        });
+    };
+    if cover.len() <= params.govern.sop_cube_limit {
+        // Rung 2: the sis-style algebraic path.
+        let expr = bds_sop::factor::factor(cover);
+        record_degrade(sig, 2, reason);
+        return Ok(NodeArtifact::degraded(ArtifactBody::Factored(expr), 2));
+    }
+    // Rung 3: keep the original factored form verbatim.
+    record_degrade(sig, 3, reason);
+    Ok(NodeArtifact::degraded(
+        ArtifactBody::Verbatim(cover.clone()),
+        3,
+    ))
 }
 
 /// Distributes `items` (topo-indexed supernodes) across `jobs` scoped
@@ -555,7 +844,8 @@ fn decompose_sharded(
                         let Some((sig, fanins)) = items.get(i) else {
                             break;
                         };
-                        let r = decompose_supernode(work, *sig, fanins, params);
+                        let fault = fault_for(&params.govern, i, items.len());
+                        let r = decompose_supernode(work, *sig, fanins, params, fault);
                         if r.is_err() {
                             abort.store(true, Ordering::Relaxed);
                         }
@@ -663,13 +953,18 @@ pub fn optimize_partitioned(
     } else {
         items
             .iter()
-            .map(|(sig, fanins)| decompose_supernode(&work, *sig, fanins, params))
+            .enumerate()
+            .map(|(i, (sig, fanins))| {
+                let fault = fault_for(&params.govern, i, items.len());
+                decompose_supernode(&work, *sig, fanins, params, fault)
+            })
             .collect::<Result<_, _>>()?
     };
     // Leave the supernode scope behind: any later BDD work on this
     // thread samples under the global scope again, exactly as it would
     // when the supernodes ran on worker threads.
     bds_trace::timeline::set_scope(bds_trace::timeline::GLOBAL_SCOPE);
+    let mut degraded = 0usize;
     for ((sig, fanins), artifact) in items.iter().zip(artifacts) {
         let sig = *sig;
         stats.merge(artifact.stats);
@@ -680,6 +975,7 @@ pub fn optimize_partitioned(
         build_bytes = build_bytes.max(artifact.build_bytes);
         decompose_bytes = decompose_bytes.max(artifact.decompose_bytes);
         peak_load = peak_load.max(artifact.peak_load);
+        degraded += usize::from(artifact.rung > 0);
 
         let _sharing_span = bds_trace::span!("flow.sharing");
         let mut var_signals: Vec<SignalId> = Vec::with_capacity(fanins.len());
@@ -693,14 +989,21 @@ pub fn optimize_partitioned(
             })?;
             var_signals.push(mapped);
         }
-        let emitted = emit_forest(
-            &mut out,
-            &artifact.forest,
-            &[artifact.root],
-            &var_signals,
-            "bds",
-        )?;
-        let named = alias(&mut out, emitted[0], work.signal_name(sig))?;
+        let named = match &artifact.body {
+            ArtifactBody::Forest { forest, root } => {
+                let emitted = emit_forest(&mut out, forest, &[*root], &var_signals, "bds")?;
+                alias(&mut out, emitted[0], work.signal_name(sig))?
+            }
+            ArtifactBody::Factored(expr) => {
+                let resolved = emit_expr(&mut out, expr, &var_signals, "bds")?;
+                alias(&mut out, resolved, work.signal_name(sig))?
+            }
+            // The verbatim rung re-adds the original cover unchanged
+            // (cover literals index fanin positions, exactly as stored).
+            ArtifactBody::Verbatim(cover) => {
+                out.add_node(work.signal_name(sig), var_signals.clone(), cover.clone())?
+            }
+        };
         map[sig.index()] = Some(named);
     }
     for &o in work.outputs() {
@@ -735,6 +1038,7 @@ pub fn optimize_partitioned(
             bdd_ops: ops,
             peak_arena_bytes: build_bytes.max(decompose_bytes),
             peak_unique_load: peak_load,
+            degraded,
         },
     ))
 }
@@ -851,6 +1155,77 @@ mod tests {
         };
         let (opt, report) = optimize(&net, &params).unwrap();
         assert_eq!(report.mode, FlowMode::Partitioned);
+        assert_eq!(verify(&net, &opt, 1_000_000).unwrap(), Verdict::Equivalent);
+    }
+
+    #[test]
+    fn tiny_budget_degrades_but_stays_equivalent() {
+        let net = ripple_adder(4);
+        let params = FlowParams {
+            global_limit: 0,
+            jobs: 1,
+            govern: GovernParams {
+                supernode_budget: 10,
+                ..GovernParams::default()
+            },
+            ..FlowParams::default()
+        };
+        let (opt, report) = optimize(&net, &params).unwrap();
+        assert!(
+            report.degraded > 0,
+            "a 10-tick budget must force the ladder"
+        );
+        assert_eq!(verify(&net, &opt, 1_000_000).unwrap(), Verdict::Equivalent);
+        // Determinism: the sharded path degrades identically.
+        let sharded = FlowParams { jobs: 4, ..params };
+        let (opt4, report4) = optimize(&net, &sharded).unwrap();
+        assert_eq!(report.degraded, report4.degraded);
+        assert_eq!(
+            bds_network::blif::write(&opt),
+            bds_network::blif::write(&opt4),
+            "degraded output must be byte-identical at any jobs count"
+        );
+    }
+
+    #[test]
+    fn injected_panic_surfaces_as_worker_panic() {
+        let net = ripple_adder(4);
+        let mut params = FlowParams {
+            global_limit: 0,
+            jobs: 1,
+            ..FlowParams::default()
+        };
+        params.govern.inject = Some(FaultPlan {
+            supernode: 2,
+            fault: Fault::Panic,
+            at_tick: 5,
+        });
+        let err = optimize(&net, &params).unwrap_err();
+        assert!(
+            matches!(err, NetworkError::WorkerPanic { .. }),
+            "got {err:?}"
+        );
+        // The same plan produces the same structured error when sharded
+        // (smallest-index-error-wins merge).
+        let err4 = optimize(&net, &FlowParams { jobs: 4, ..params }).unwrap_err();
+        assert_eq!(format!("{err}"), format!("{err4}"));
+    }
+
+    #[test]
+    fn injected_budget_fault_degrades_instead_of_failing() {
+        let net = ripple_adder(4);
+        let mut params = FlowParams {
+            global_limit: 0,
+            jobs: 1,
+            ..FlowParams::default()
+        };
+        params.govern.inject = Some(FaultPlan {
+            supernode: 1,
+            fault: Fault::Budget,
+            at_tick: 3,
+        });
+        let (opt, report) = optimize(&net, &params).unwrap();
+        assert!(report.degraded > 0, "the faulted supernode must degrade");
         assert_eq!(verify(&net, &opt, 1_000_000).unwrap(), Verdict::Equivalent);
     }
 

@@ -158,7 +158,7 @@ fn substitute_rec(
     let (var, t, el) = mgr.node(e).expect("non-const");
     let rt = substitute_rec(mgr, t, subst, memo)?;
     let re = substitute_rec(mgr, el, subst, memo)?;
-    let lit = mgr.literal(var, true);
+    let lit = mgr.literal_checked(var, true)?;
     let r = mgr.ite(lit, rt, re)?;
     memo.insert(e, r);
     Ok(r)
@@ -202,7 +202,7 @@ fn rebuild_rec(
     let (var, t, el) = mgr.node(e).expect("non-const");
     let rt = rebuild_rec(mgr, t, cut_level, free_replacement, memo)?;
     let re = rebuild_rec(mgr, el, cut_level, free_replacement, memo)?;
-    let lit = mgr.literal(var, true);
+    let lit = mgr.literal_checked(var, true)?;
     let r = mgr.ite(lit, rt, re)?;
     memo.insert(e, r);
     Ok(r)

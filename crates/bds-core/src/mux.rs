@@ -159,14 +159,23 @@ pub fn best_mux_decomposition(
 /// The always-available fallback: Shannon expansion on the top variable
 /// (the paper's *simple MUX*, kept "to ensure that the BDD will still be
 /// decomposed when all other attempts fail", §IV-C).
-pub fn shannon(mgr: &mut Manager, f: Edge) -> Option<MuxDecomp> {
-    let (var, t, e) = mgr.node(f)?;
-    let control = mgr.literal(var, true);
-    Some(MuxDecomp {
+///
+/// `Ok(None)` for constants. Fallible so an effort budget or injected
+/// fault tripping on the control literal surfaces as an `Err` rather
+/// than a panic.
+///
+/// # Errors
+/// [`bds_bdd::BddError::NodeLimit`] / [`bds_bdd::BddError::BudgetExceeded`].
+pub fn shannon(mgr: &mut Manager, f: Edge) -> bds_bdd::Result<Option<MuxDecomp>> {
+    let Some((var, t, e)) = mgr.node(f) else {
+        return Ok(None);
+    };
+    let control = mgr.literal_checked(var, true)?;
+    Ok(Some(MuxDecomp {
         control,
         hi: t,
         lo: e,
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -217,11 +226,11 @@ mod tests {
         let lits: Vec<Edge> = v.iter().map(|&x| m.literal(x, true)).collect();
         let ab = m.and(lits[0], lits[1]).unwrap();
         let f = m.or(ab, lits[2]).unwrap();
-        let d = shannon(&mut m, f).expect("non-constant");
+        let d = shannon(&mut m, f).unwrap().expect("non-constant");
         let rebuilt = m.ite(d.control, d.hi, d.lo).unwrap();
         assert_eq!(rebuilt, f);
         assert_eq!(d.control, lits[0], "top variable is the control");
-        assert!(shannon(&mut m, Edge::ONE).is_none());
+        assert!(shannon(&mut m, Edge::ONE).unwrap().is_none());
     }
 
     /// Theorem 7 never mis-fires: every candidate reconstructs F.

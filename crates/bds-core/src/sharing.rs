@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 
 use bds_network::{Network, NetworkError, SignalId};
-use bds_sop::{Cover, Cube};
+use bds_sop::{Cover, Cube, Expr};
 
 use crate::factor_tree::{FactorForest, FactorNode, FactorRef};
 
@@ -65,6 +65,84 @@ pub fn alias(
 ) -> Result<SignalId, NetworkError> {
     let cover = Cover::from_cubes(vec![Cube::lit(0, resolved.phase)]);
     net.add_node(name, vec![resolved.signal], cover)
+}
+
+/// Emits a factored [`Expr`] (the flow's SOP degradation rung) into
+/// `net` as a chain of ≤2-input gates, the same granularity
+/// [`emit_forest`] produces. `var_signals[i]` is the network signal for
+/// expression variable `i`; literal phases fold into consumer covers,
+/// so negative literals cost no inverters.
+///
+/// # Errors
+/// Propagates network construction errors.
+pub fn emit_expr(
+    net: &mut Network,
+    expr: &Expr,
+    var_signals: &[SignalId],
+    prefix: &str,
+) -> Result<ResolvedRef, NetworkError> {
+    match expr {
+        Expr::Const(b) => {
+            let name = net.fresh_name(prefix);
+            let sig = net.add_constant(name, *b)?;
+            Ok(ResolvedRef {
+                signal: sig,
+                phase: true,
+            })
+        }
+        Expr::Lit(v, p) => Ok(ResolvedRef {
+            signal: var_signals[*v as usize],
+            phase: *p,
+        }),
+        Expr::And(xs) => emit_expr_assoc(net, xs, var_signals, prefix, true),
+        Expr::Or(xs) => emit_expr_assoc(net, xs, var_signals, prefix, false),
+    }
+}
+
+/// Left-folds an associative `And`/`Or` operand list into 2-input gates.
+fn emit_expr_assoc(
+    net: &mut Network,
+    operands: &[Expr],
+    var_signals: &[SignalId],
+    prefix: &str,
+    is_and: bool,
+) -> Result<ResolvedRef, NetworkError> {
+    let mut acc: Option<ResolvedRef> = None;
+    for x in operands {
+        let rx = emit_expr(net, x, var_signals, prefix)?;
+        acc = Some(match acc {
+            None => rx,
+            Some(ra) => {
+                let cover = if is_and {
+                    Cover::from_cubes(
+                        Cube::new(vec![(0, ra.phase), (1, rx.phase)])
+                            .into_iter()
+                            .collect(),
+                    )
+                } else {
+                    Cover::from_cubes(vec![Cube::lit(0, ra.phase), Cube::lit(1, rx.phase)])
+                };
+                let name = net.fresh_name(prefix);
+                let sig = net.add_node(name, vec![ra.signal, rx.signal], cover)?;
+                ResolvedRef {
+                    signal: sig,
+                    phase: true,
+                }
+            }
+        });
+    }
+    match acc {
+        Some(r) => Ok(r),
+        // An empty operand list is the operation's identity element.
+        None => {
+            let name = net.fresh_name(prefix);
+            let sig = net.add_constant(name, is_and)?;
+            Ok(ResolvedRef {
+                signal: sig,
+                phase: true,
+            })
+        }
+    }
 }
 
 struct Emitter<'a> {
@@ -264,6 +342,48 @@ mod tests {
             assert_eq!(out[0], mgr.eval(f, &assign), "F at {assign:?}");
             assert_eq!(out[1], !mgr.eval(g, &assign), "Ḡ at {assign:?}");
         }
+    }
+
+    /// Factored-expression emission (the SOP degradation rung) must
+    /// match the cover it came from, at ≤2-input gate granularity.
+    #[test]
+    fn emit_expr_matches_cover_semantics() {
+        let cover = Cover::from_cubes(vec![
+            Cube::parse(&[(0, true), (1, true)]),
+            Cube::parse(&[(0, true), (2, true)]),
+            Cube::parse(&[(1, false), (2, false)]),
+        ]);
+        let expr = bds_sop::factor::factor(&cover);
+        let mut net = Network::new("expr");
+        let sigs: Vec<SignalId> = (0..3)
+            .map(|i| net.add_input(format!("x{i}")).unwrap())
+            .collect();
+        let r = emit_expr(&mut net, &expr, &sigs, "e").unwrap();
+        let o = alias(&mut net, r, "F").unwrap();
+        net.mark_output(o).unwrap();
+        for sig in net.node_ids() {
+            let (fanins, _) = net.node(sig).unwrap();
+            assert!(fanins.len() <= 2, "expr gates must stay at ≤2 inputs");
+        }
+        for bits in 0..8u32 {
+            let assign: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(net.eval(&assign).unwrap()[0], cover.eval(&assign));
+        }
+    }
+
+    /// Constants and bare literals emit without gates.
+    #[test]
+    fn emit_expr_handles_degenerate_forms() {
+        let mut net = Network::new("deg");
+        let sigs: Vec<SignalId> = (0..2)
+            .map(|i| net.add_input(format!("x{i}")).unwrap())
+            .collect();
+        let lit = emit_expr(&mut net, &Expr::Lit(1, false), &sigs, "e").unwrap();
+        assert_eq!(lit.signal, sigs[1]);
+        assert!(!lit.phase, "negative literal folds into the phase");
+        let c = emit_expr(&mut net, &Expr::Const(true), &sigs, "e").unwrap();
+        assert!(c.phase);
+        assert_eq!(net.node_count(), 1, "only the constant adds a node");
     }
 
     /// Shared sub-functions must produce shared network nodes.

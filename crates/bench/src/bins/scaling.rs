@@ -8,7 +8,6 @@
 //! `-- --json <path>` the same series is also written as a report.
 //! Env: `BDS_SCALING_MAX_NODES` (default 2000) bounds the sweep.
 
-// lint:allow-file(panic): benchmark setup aborts loudly on broken fixtures by design
 // lint:allow-file(print): experiment binaries report to the console by design
 
 use std::process::ExitCode;
@@ -24,14 +23,14 @@ use bds_trace::Stopwatch;
 
 use crate::report::{envelope, parse_args, write_json};
 
-fn time_flows(net: &Network, flow: &FlowParams) -> (f64, f64) {
+fn time_flows(net: &Network, flow: &FlowParams) -> Result<(f64, f64), String> {
     let t0 = Stopwatch::start();
-    let _ = script_rugged(net, &SisParams::default()).expect("baseline");
+    script_rugged(net, &SisParams::default()).map_err(|e| format!("baseline flow failed: {e}"))?;
     let sis = t0.seconds();
     let t1 = Stopwatch::start();
-    let _ = optimize(net, flow).expect("bds");
+    optimize(net, flow).map_err(|e| format!("bds flow failed: {e}"))?;
     let bds = t1.seconds();
-    (sis, bds)
+    Ok((sis, bds))
 }
 
 type Family = (&'static str, Box<dyn Fn(usize) -> Network>, Vec<usize>);
@@ -67,7 +66,13 @@ pub fn main() -> ExitCode {
                 eprintln!("skipping {name}{size} ({nodes} nodes > cap)");
                 continue;
             }
-            let (sis, bds) = time_flows(&net, &flow);
+            let (sis, bds) = match time_flows(&net, &flow) {
+                Ok(t) => t,
+                Err(err) => {
+                    eprintln!("scaling: {name}{size}: {err}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let speedup = sis / bds.max(1e-9);
             println!("{name},{size},{nodes},{sis:.4},{bds:.4},{speedup:.2}");
             entries.push(Json::Obj(vec![

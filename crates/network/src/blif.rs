@@ -15,6 +15,27 @@ use crate::error::NetworkError;
 use crate::network::{Network, SignalId};
 use crate::Result;
 
+/// Renders a fragment of user input for an error message: control
+/// characters are escaped and over-long fragments are truncated, so a
+/// hostile file cannot smuggle terminal control sequences (or megabytes
+/// of noise) through an error report.
+fn snippet(text: &str) -> String {
+    const MAX: usize = 60;
+    let mut out = String::new();
+    for c in text.chars() {
+        if out.chars().count() >= MAX {
+            out.push('…');
+            break;
+        }
+        if c.is_control() {
+            let _ = write!(out, "{}", c.escape_default());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// Parses a BLIF model from text.
 ///
 /// # Errors
@@ -117,7 +138,7 @@ pub fn parse(text: &str) -> Result<Network> {
                         _ => {
                             return Err(NetworkError::Blif {
                                 line: *cl,
-                                detail: format!("malformed cube line `{cube_line}`"),
+                                detail: format!("malformed cube line `{}`", snippet(cube_line)),
                             })
                         }
                     }
@@ -133,7 +154,10 @@ pub fn parse(text: &str) -> Result<Network> {
             ".latch" | ".gate" | ".mlatch" | ".subckt" => {
                 return Err(NetworkError::Blif {
                     line: *lineno,
-                    detail: format!("unsupported construct `{head}` (combinational blif only)"),
+                    detail: format!(
+                        "unsupported construct `{}` (combinational blif only)",
+                        snippet(head)
+                    ),
                 })
             }
             _ if head.starts_with('.') => {
@@ -144,7 +168,7 @@ pub fn parse(text: &str) -> Result<Network> {
             _ => {
                 return Err(NetworkError::Blif {
                     line: *lineno,
-                    detail: format!("unexpected token `{head}`"),
+                    detail: format!("unexpected token `{}`", snippet(head)),
                 })
             }
         }
@@ -164,7 +188,7 @@ pub fn parse(text: &str) -> Result<Network> {
         if ids.contains_key(out_name) {
             return Err(NetworkError::Blif {
                 line: rn.line,
-                detail: format!("signal `{out_name}` defined twice"),
+                detail: format!("signal `{}` defined twice", snippet(out_name)),
             });
         }
         let id = net.add_node(out_name.clone(), Vec::new(), Cover::zero())?;
@@ -178,7 +202,11 @@ pub fn parse(text: &str) -> Result<Network> {
         for f in fanin_names {
             let id = *ids.get(f).ok_or_else(|| NetworkError::Blif {
                 line: rn.line,
-                detail: format!("fanin `{f}` of `{out_name}` is undefined"),
+                detail: format!(
+                    "fanin `{}` of `{}` is undefined",
+                    snippet(f),
+                    snippet(out_name)
+                ),
             })?;
             fanins.push(id);
         }
@@ -188,7 +216,7 @@ pub fn parse(text: &str) -> Result<Network> {
     for name in &output_names {
         let id = *ids.get(name).ok_or_else(|| NetworkError::Blif {
             line: 0,
-            detail: format!("output `{name}` is never defined"),
+            detail: format!("output `{}` is never defined", snippet(name)),
         })?;
         net.mark_output(id)?;
     }
@@ -213,7 +241,8 @@ fn cubes_to_cover(line: usize, cubes: &[(String, char)], fanin_count: usize) -> 
             return Err(NetworkError::Blif {
                 line,
                 detail: format!(
-                    "cube `{pattern}` has {} positions for {fanin_count} fanins",
+                    "cube `{}` has {} positions for {fanin_count} fanins",
+                    snippet(pattern),
                     pattern.len()
                 ),
             });
@@ -227,7 +256,7 @@ fn cubes_to_cover(line: usize, cubes: &[(String, char)], fanin_count: usize) -> 
                 other => {
                     return Err(NetworkError::Blif {
                         line,
-                        detail: format!("invalid cube character `{other}`"),
+                        detail: format!("invalid cube character `{}`", other.escape_default()),
                     })
                 }
             }
@@ -246,7 +275,7 @@ fn cubes_to_cover(line: usize, cubes: &[(String, char)], fanin_count: usize) -> 
     } else {
         Err(NetworkError::Blif {
             line,
-            detail: format!("invalid output phase `{phase}`"),
+            detail: format!("invalid output phase `{}`", phase.escape_default()),
         })
     }
 }
@@ -386,6 +415,23 @@ mod tests {
     fn latch_rejected() {
         let text = ".model s\n.inputs a\n.outputs q\n.latch a q re clk 0\n.end\n";
         assert!(matches!(parse(text), Err(NetworkError::Blif { .. })));
+    }
+
+    #[test]
+    fn error_snippets_are_escaped_and_bounded() {
+        // A control character in an offending line must not reach the
+        // error message raw.
+        let text = ".model m\n.inputs a\n.outputs y\n.names a y\n1\u{4}1 x\n.end\n";
+        let err = parse(text).expect_err("malformed cube");
+        let msg = err.to_string();
+        assert!(msg.contains("\\u{4}"), "escaped form expected: {msg:?}");
+        assert!(msg.chars().all(|c| !c.is_control()), "raw control: {msg:?}");
+        // Over-long garbage is truncated.
+        let long = "x".repeat(500);
+        let text = format!(".model m\n.inputs a\n.outputs y\n{long}\n.end\n");
+        let err = parse(&text).expect_err("garbage token");
+        assert!(err.to_string().len() < 200, "unbounded echo: {}", err);
+        assert!(err.to_string().contains('…'));
     }
 
     #[test]

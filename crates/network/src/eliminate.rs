@@ -234,7 +234,7 @@ impl Network {
                 if f == sig {
                     Ok(own_edge)
                 } else {
-                    Ok(mgr.literal(var_of[&f], true))
+                    mgr.literal_checked(var_of[&f], true)
                 }
             })
             .collect::<std::result::Result<_, bds_bdd::BddError>>()

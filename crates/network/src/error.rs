@@ -46,6 +46,16 @@ pub enum NetworkError {
     /// An underlying BDD operation failed (usually a node limit during
     /// global-BDD construction or an over-eager collapse).
     Bdd(BddError),
+    /// A flow worker thread panicked while processing a supernode. The
+    /// panic was quarantined (see `bds-core/src/flow.rs`) and its payload
+    /// converted into this structured error; partial per-worker trace
+    /// state was discarded deterministically.
+    WorkerPanic {
+        /// Name of the supernode whose worker panicked.
+        node: String,
+        /// The panic payload, rendered as text.
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -64,6 +74,9 @@ impl fmt::Display for NetworkError {
                 write!(f, "assignment provides {got} values for {expected} inputs")
             }
             NetworkError::Bdd(e) => write!(f, "bdd failure: {e}"),
+            NetworkError::WorkerPanic { node, detail } => {
+                write!(f, "worker panicked on supernode `{node}`: {detail}")
+            }
         }
     }
 }
@@ -93,5 +106,18 @@ mod tests {
         assert_eq!(e.to_string(), "unknown signal `q`");
         let e = NetworkError::Bdd(BddError::NodeLimit { limit: 5 });
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn worker_panic_display_names_the_node() {
+        let e = NetworkError::WorkerPanic {
+            node: "n42".into(),
+            detail: "injected fault: worker panic at effort tick 7".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker panicked on supernode `n42`: injected fault: worker panic at effort tick 7"
+        );
+        assert!(std::error::Error::source(&e).is_none());
     }
 }

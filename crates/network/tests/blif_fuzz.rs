@@ -1,0 +1,120 @@
+//! Property tests for BLIF parsing on hostile input: truncated files,
+//! spliced garbage, control characters, and random byte noise. The
+//! contract is total — [`bds_network::blif::parse`] returns `Ok` or a
+//! [`NetworkError::Blif`]-shaped `Err` with a non-empty, line-numbered
+//! message; it never panics and never loops.
+
+use bds_network::blif;
+use bds_prop::{check_cases, Rng};
+
+/// A valid seed document to mutate: covers inputs, outputs, multi-cube
+/// covers, don't-cares, and a constant node.
+fn seed_blif() -> String {
+    ".model fuzz_seed\n\
+     .inputs a b c d\n\
+     .outputs y z\n\
+     .names a b t0\n\
+     11 1\n\
+     .names t0 c t1\n\
+     1- 1\n\
+     01 1\n\
+     .names t1 d y\n\
+     10 1\n\
+     .names z\n\
+     1\n\
+     .end\n"
+        .to_string()
+}
+
+/// Asserts the total-function contract on one input.
+fn parse_must_not_panic(label: &str, text: &str) {
+    match blif::parse(text) {
+        Ok(net) => {
+            // A parse that succeeds must yield a structurally sound network.
+            net.check_invariants()
+                .unwrap_or_else(|e| panic!("{label}: parsed Ok but invariants fail: {e}"));
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            assert!(!msg.is_empty(), "{label}: empty error message");
+            assert!(
+                msg.chars().all(|c| !c.is_control() || c == '\t'),
+                "{label}: error message leaks control characters: {msg:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_documents_never_panic() {
+    let doc = seed_blif();
+    // Every prefix, byte by byte (the document is ASCII so every prefix
+    // is a char boundary).
+    for cut in 0..=doc.len() {
+        parse_must_not_panic(&format!("truncate@{cut}"), &doc[..cut]);
+    }
+}
+
+#[test]
+fn spliced_garbage_tokens_never_panic() {
+    const GARBAGE: &[&str] = &[
+        ".names",
+        ".names x",
+        ".inputs",
+        ".latch q r 0",
+        "11 2",
+        "--",
+        "1",
+        ".subckt foo a=b",
+        ".exdc",
+        "\u{0}\u{1}\u{2}",
+        "∞ ± µ",
+        ".end",
+        ".model",
+        "0- 1",
+        "11111111 1",
+    ];
+    check_cases("spliced garbage", 128, |rng: &mut Rng| {
+        let doc = seed_blif();
+        let mut lines: Vec<String> = doc.lines().map(str::to_string).collect();
+        // Splice 1..4 garbage lines at random positions, sometimes
+        // replacing the original line instead of inserting.
+        for _ in 0..rng.range_u32(1..4) {
+            let garbage = (*rng.choose(GARBAGE)).to_string();
+            let at = rng.range_usize(0..lines.len());
+            if rng.bool() {
+                lines[at] = garbage;
+            } else {
+                lines.insert(at, garbage);
+            }
+        }
+        let mutated = lines.join("\n");
+        parse_must_not_panic("splice", &mutated);
+    });
+}
+
+#[test]
+fn random_byte_noise_never_panics() {
+    check_cases("byte noise", 128, |rng: &mut Rng| {
+        let mut bytes = seed_blif().into_bytes();
+        // Flip 1..8 random bytes to arbitrary values (may produce
+        // invalid UTF-8; lossy re-decoding mirrors a hostile file read).
+        for _ in 0..rng.range_u32(1..8) {
+            let at = rng.range_usize(0..bytes.len());
+            bytes[at] = rng.range_u64(0..256) as u8;
+        }
+        let mutated = String::from_utf8_lossy(&bytes).into_owned();
+        parse_must_not_panic("noise", &mutated);
+    });
+}
+
+#[test]
+fn error_messages_carry_line_numbers() {
+    let doc = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1 1\n.end\n";
+    let err = blif::parse(doc).expect_err("three-token cube must be rejected");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("line 5"),
+        "error should name the offending line: {msg}"
+    );
+}

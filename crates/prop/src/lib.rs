@@ -27,6 +27,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+/// Seeded fault-injection plans for the chaos differential suite.
+pub mod chaos;
+
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
@@ -110,6 +113,7 @@ pub fn check_cases<F: FnMut(&mut Rng)>(name: &str, cases: u32, mut property: F) 
         // Decorrelate neighbouring cases: the seed is itself mixed.
         let seed = Rng::new(u64::from(case)).next_u64();
         let mut rng = Rng::new(seed);
+        // lint:allow(unwind) — the harness contains a failing case to re-report its seed
         let outcome = catch_unwind(AssertUnwindSafe(|| property(&mut rng)));
         if let Err(payload) = outcome {
             let detail = payload

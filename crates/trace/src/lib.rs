@@ -95,8 +95,8 @@ pub use journal::{
     Event, EventKind, FieldValue, Journal, DEFAULT_JOURNAL_CAPACITY,
 };
 pub use registry::{
-    absorb_snapshot, add_counter, counter_value, drain_into, record_histogram, set_gauge,
-    span_depth, take_snapshot, take_snapshot_in_flight, Histogram, Snapshot, SpanSnap,
+    absorb_snapshot, add_counter, counter_value, drain_into, record_histogram, restore_snapshot,
+    set_gauge, span_depth, take_snapshot, take_snapshot_in_flight, Histogram, Snapshot, SpanSnap,
 };
 pub use span::{fmt_duration_ns, span_enter, NoopSpan, SpanGuard, Stopwatch};
 

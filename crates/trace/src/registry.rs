@@ -693,6 +693,49 @@ pub fn absorb_snapshot(snap: &Snapshot) {
     });
 }
 
+/// Restores a snapshot previously taken with [`take_snapshot_in_flight`]
+/// back into this thread's live registry: counters add, gauges keep the
+/// maximum, histograms merge, and the snapshot's span roots merge **at
+/// root level** (by name, as [`Snapshot::merge`] would).
+///
+/// This is the inverse of [`take_snapshot_in_flight`] and differs from
+/// [`absorb_snapshot`] exactly there: `absorb_snapshot` grafts the
+/// snapshot under the innermost *open* span, which would nest the
+/// snapshot's own open-chain placeholder (e.g. a zero-call `flow` root)
+/// under the live `flow` span, doubling the chain. The flow layer's panic
+/// quarantine uses `restore_snapshot` to put aside and deterministically
+/// reinstate the coordinator's metrics around a `catch_unwind`, so a
+/// panicked supernode's partial trace can be discarded without poisoning
+/// the surrounding tree.
+pub fn restore_snapshot(snap: &Snapshot) {
+    with(|r| {
+        for (name, v) in &snap.counters {
+            if let Some(slot) = r.counters.get_mut(name) {
+                *slot += v;
+            } else {
+                r.counters.insert(name.clone(), *v);
+            }
+        }
+        for (name, v) in &snap.gauges {
+            if let Some(slot) = r.gauges.get_mut(name) {
+                *slot = (*slot).max(*v);
+            } else {
+                r.gauges.insert(name.clone(), *v);
+            }
+        }
+        for (name, h) in &snap.histograms {
+            if let Some(slot) = r.histograms.get_mut(name) {
+                slot.merge(h);
+            } else {
+                r.histograms.insert(name.clone(), *h);
+            }
+        }
+        for s in &snap.spans {
+            r.absorb_span(None, s);
+        }
+    });
+}
+
 /// Internal hook for `SpanGuard`.
 pub(crate) fn enter_named(name: &'static str) {
     with(|r| {
@@ -787,6 +830,41 @@ mod tests {
         assert_eq!(second.spans[0].name, "outer");
         assert_eq!(second.spans[0].calls, 1);
         assert_eq!(second.spans[0].children[0].name, "inner");
+        assert_eq!(span_depth(), 0);
+    }
+
+    #[test]
+    fn restore_inverts_take_snapshot_in_flight() {
+        reset();
+        let outer = crate::span_enter("outer");
+        add_counter("before", 1);
+        // Put the registry aside mid-span, as the flow quarantine does…
+        let saved = take_snapshot_in_flight();
+        // …do some work that will be discarded…
+        add_counter("discarded", 99);
+        {
+            let _junk = crate::span_enter("junk");
+        }
+        let _ = take_snapshot_in_flight();
+        // …and reinstate. The open `outer` chain must merge with the saved
+        // root-level `outer` placeholder instead of nesting under it.
+        restore_snapshot(&saved);
+        {
+            let _inner = crate::span_enter("inner");
+        }
+        drop(outer);
+        let snap = take_snapshot();
+        assert_eq!(snap.counter("before"), Some(1));
+        assert_eq!(snap.counter("discarded"), None);
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].name, "outer");
+        assert_eq!(snap.spans[0].calls, 1);
+        let children: Vec<&str> = snap.spans[0]
+            .children
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
+        assert_eq!(children, vec!["inner"], "no doubled `outer` chain");
         assert_eq!(span_depth(), 0);
     }
 

@@ -27,10 +27,15 @@ use bds_trace::{Snapshot, SpanSnap};
 /// `BDS_FLOW_JOBS` environment default so the differential pairing is
 /// what this file says it is, whatever the ambient configuration.
 fn params(jobs: usize) -> FlowParams {
-    FlowParams {
+    let mut p = FlowParams {
         jobs,
         ..FlowParams::default()
-    }
+    };
+    // A generous but *finite* effort budget: the acceptance contract is
+    // that merely configuring the governor (without tripping it) leaves
+    // every benchmark on rung 0 with unchanged output.
+    p.govern.supernode_budget = 200_000_000;
+    p
 }
 
 /// The benchmark set: one representative of every generator family that
@@ -81,6 +86,7 @@ fn assert_reports_structurally_equal(name: &str, a: &FlowReport, b: &FlowReport)
         a.eliminated, b.eliminated,
         "{name}: eliminate count diverged"
     );
+    assert_eq!(a.degraded, b.degraded, "{name}: degraded count diverged");
     assert_eq!(
         a.peak_arena_bytes, b.peak_arena_bytes,
         "{name}: peak arena bytes diverged"

@@ -1,0 +1,190 @@
+//! Error-plumbing round-trips: every public error variant must render a
+//! useful `Display`, report the right `source()`, and back-pressure
+//! signals ([`BddError::NodeLimit`], [`BddError::BudgetExceeded`]) must
+//! travel through the layered APIs without being flattened into panics
+//! or generic strings.
+
+use std::error::Error;
+
+use bds_repro::bdd::{BddError, OpClass};
+use bds_repro::circuits::adder::{carry_select_adder, ripple_adder};
+use bds_repro::core::flow::{optimize, FlowParams};
+use bds_repro::network::NetworkError;
+
+/// Every `BddError` variant: Display is lowercase, names its payload,
+/// and `source()` is `None` (it is the root of the error chain).
+#[test]
+fn bdd_error_display_round_trips() {
+    let cases: Vec<(BddError, &str)> = vec![
+        (
+            BddError::NodeLimit { limit: 17 },
+            "bdd node limit of 17 exceeded",
+        ),
+        (
+            BddError::UnknownVar {
+                var: 9,
+                var_count: 4,
+            },
+            "variable v9 is not one of the 4 manager variables",
+        ),
+        (
+            BddError::BadVarMap {
+                detail: "missing v2".into(),
+            },
+            "invalid variable map: missing v2",
+        ),
+        (
+            BddError::InvariantViolation {
+                detail: "dangling edge".into(),
+            },
+            "bdd invariant violated: dangling edge",
+        ),
+        (
+            BddError::BudgetExceeded {
+                spent: 101,
+                limit: 100,
+                op: OpClass::Ite,
+            },
+            "bdd effort budget of 100 ticks exceeded at 101 (ite step)",
+        ),
+        (
+            BddError::BudgetExceeded {
+                spent: 33,
+                limit: 32,
+                op: OpClass::UniqueInsert,
+            },
+            "bdd effort budget of 32 ticks exceeded at 33 (unique-insert step)",
+        ),
+    ];
+    for (err, expected) in cases {
+        assert_eq!(err.to_string(), expected);
+        assert!(err.source().is_none(), "{err}: BddError is a chain root");
+        let lower = err.to_string();
+        assert_eq!(lower, lower.to_lowercase(), "{err}: Display not lowercase");
+    }
+}
+
+/// Every `NetworkError` variant: Display round-trips and only `Bdd`
+/// carries a `source()`.
+#[test]
+fn network_error_display_and_source_round_trip() {
+    let cases: Vec<(NetworkError, &str, bool)> = vec![
+        (
+            NetworkError::DuplicateName { name: "x0".into() },
+            "signal `x0` already exists",
+            false,
+        ),
+        (
+            NetworkError::UnknownSignal { name: "q".into() },
+            "unknown signal `q`",
+            false,
+        ),
+        (
+            NetworkError::Cycle { name: "n3".into() },
+            "adding node `n3` would create a combinational cycle",
+            false,
+        ),
+        (
+            NetworkError::Inconsistent {
+                detail: "orphan output".into(),
+            },
+            "inconsistent network: orphan output",
+            false,
+        ),
+        (
+            NetworkError::Blif {
+                line: 12,
+                detail: "bad token".into(),
+            },
+            "blif parse error at line 12: bad token",
+            false,
+        ),
+        (
+            NetworkError::BadAssignment {
+                expected: 8,
+                got: 5,
+            },
+            "assignment provides 5 values for 8 inputs",
+            false,
+        ),
+        (
+            NetworkError::Bdd(BddError::NodeLimit { limit: 5 }),
+            "bdd failure: bdd node limit of 5 exceeded",
+            true,
+        ),
+        (
+            NetworkError::Bdd(BddError::BudgetExceeded {
+                spent: 8,
+                limit: 7,
+                op: OpClass::UniqueInsert,
+            }),
+            "bdd failure: bdd effort budget of 7 ticks exceeded at 8 (unique-insert step)",
+            true,
+        ),
+        (
+            NetworkError::WorkerPanic {
+                node: "n42".into(),
+                detail: "injected fault: worker panic at effort tick 7".into(),
+            },
+            "worker panicked on supernode `n42`: injected fault: worker panic at effort tick 7",
+            false,
+        ),
+    ];
+    for (err, expected, has_source) in cases {
+        assert_eq!(err.to_string(), expected);
+        assert_eq!(err.source().is_some(), has_source, "{err}: wrong source()");
+        if let Some(src) = err.source() {
+            assert!(
+                expected.ends_with(&src.to_string()),
+                "{err}: Display should embed its source"
+            );
+        }
+    }
+}
+
+/// `From<BddError> for NetworkError` preserves the payload exactly.
+#[test]
+fn bdd_error_converts_losslessly() {
+    let inner = BddError::BudgetExceeded {
+        spent: 3,
+        limit: 2,
+        op: OpClass::Ite,
+    };
+    let outer: NetworkError = inner.clone().into();
+    match &outer {
+        NetworkError::Bdd(e) => assert_eq!(*e, inner),
+        other => panic!("expected Bdd variant, got {other}"),
+    }
+}
+
+/// A global-BDD build under an impossible node limit surfaces the limit
+/// as structured back-pressure, not a panic or a stringly error.
+#[test]
+fn global_bdd_node_limit_is_structured() {
+    let net = ripple_adder(8);
+    let err = net.global_bdds(5).expect_err("limit 5 must trip");
+    match err {
+        NetworkError::Bdd(BddError::NodeLimit { limit }) => assert_eq!(limit, 5),
+        other => panic!("expected Bdd(NodeLimit), got {other}"),
+    }
+}
+
+/// Eliminate's node-limit back-pressure is absorbed *inside* `optimize`:
+/// a starvation-level `max_local_bdd` rejects collapses but never fails
+/// the flow.
+#[test]
+fn eliminate_back_pressure_is_absorbed_by_optimize() {
+    let net = carry_select_adder(8, 2);
+    let mut params = FlowParams {
+        jobs: 1,
+        global_limit: 0,
+        ..FlowParams::default()
+    };
+    params.eliminate.max_local_bdd = 1;
+    let (out, report) = optimize(&net, &params).expect("back-pressure must be absorbed");
+    assert_eq!(
+        bds_repro::network::verify::verify(&net, &out, 4_000_000).unwrap(),
+        bds_repro::network::verify::Verdict::Equivalent
+    );
+    assert_eq!(report.eliminated, 0, "limit 1 admits no collapse");
+}
