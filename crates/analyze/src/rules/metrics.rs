@@ -7,8 +7,11 @@
 //! call site — the `counter!` / `counter_add!` / `gauge!` /
 //! `histogram!` macros and the `add_counter` / `set_gauge` /
 //! `record_histogram` registry functions — to a literal dotted
-//! lowercase name (`area.thing.metric`). The trace crate itself is
-//! exempt: it implements the registry and names metrics generically.
+//! lowercase name (`area.thing.metric`). Journal event kinds obey the
+//! same contract: the `event!` macro and `record_event` call sites are
+//! checked too, since kind strings end up in Perfetto exports and
+//! journal diffs. The trace crate itself is exempt: it implements the
+//! registry and names metrics generically.
 
 use super::{Diagnostic, FileCx, Rule};
 use crate::lexer::TokenKind;
@@ -18,6 +21,12 @@ const METRIC_MACROS: [&str; 4] = ["counter", "counter_add", "gauge", "histogram"
 
 /// Registry functions whose first argument names a metric.
 const METRIC_FNS: [&str; 3] = ["add_counter", "set_gauge", "record_histogram"];
+
+/// Macro entry points whose first argument is a journal event kind.
+const EVENT_MACROS: [&str; 1] = ["event"];
+
+/// Journal functions whose first argument is an event kind.
+const EVENT_FNS: [&str; 1] = ["record_event"];
 
 /// Metric names are literal, dotted, lowercase.
 pub struct MetricNameRule;
@@ -35,18 +44,26 @@ fn is_dotted_lowercase(name: &str) -> bool {
 }
 
 impl MetricNameRule {
-    /// Validates the metric-name argument at view position `i` (the
-    /// first token after the opening parenthesis).
-    fn check_name(&self, cx: &FileCx<'_>, call: &str, i: usize, out: &mut Vec<Diagnostic>) {
-        let help = "name metrics with a literal dotted lowercase path (`area.thing.metric`) \
-                    so reports, diffs and gates can grep for them, or justify with \
-                    `// lint:allow(metric-name) — <reason>`";
+    /// Validates the name argument at view position `i` (the first
+    /// token after the opening parenthesis). `what` is the noun used in
+    /// diagnostics: "metric name" or "journal kind".
+    fn check_name(
+        &self,
+        cx: &FileCx<'_>,
+        call: &str,
+        what: &str,
+        i: usize,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        let help = "name metrics and event kinds with a literal dotted lowercase path \
+                    (`area.thing.metric`) so reports, diffs and gates can grep for them, \
+                    or justify with `// lint:allow(metric-name) — <reason>`";
         let Some(tok) = cx.sig_tok(i) else { return };
         if tok.kind != TokenKind::Str {
             out.push(cx.diag_at(
                 i,
                 self.name(),
-                format!("`{call}` metric name is not a plain string literal"),
+                format!("`{call}` {what} is not a plain string literal"),
                 help,
             ));
             return;
@@ -56,7 +73,7 @@ impl MetricNameRule {
             out.push(cx.diag_at(
                 i,
                 self.name(),
-                format!("`{call}` metric name {name:?} is not dotted lowercase"),
+                format!("`{call}` {what} {name:?} is not dotted lowercase"),
                 help,
             ));
         }
@@ -82,7 +99,16 @@ impl Rule for MetricNameRule {
                 && cx.is_punct(i + 1, '!')
                 && cx.is_punct(i + 2, '(')
             {
-                self.check_name(cx, &format!("{}!", cx.stext(i)), i + 3, out);
+                self.check_name(cx, &format!("{}!", cx.stext(i)), "metric name", i + 3, out);
+                continue;
+            }
+            // `event!("…", field = v)` — the journal kind string obeys
+            // the same contract; it ends up in Perfetto exports.
+            if EVENT_MACROS.iter().any(|m| cx.is_ident(i, m))
+                && cx.is_punct(i + 1, '!')
+                && cx.is_punct(i + 2, '(')
+            {
+                self.check_name(cx, &format!("{}!", cx.stext(i)), "journal kind", i + 3, out);
                 continue;
             }
             // `add_counter("…", v)`, `set_gauge("…", v)`, … — call
@@ -91,7 +117,15 @@ impl Rule for MetricNameRule {
                 && cx.is_punct(i + 1, '(')
                 && !(i > 0 && cx.is_ident(i - 1, "fn"))
             {
-                self.check_name(cx, cx.stext(i), i + 2, out);
+                self.check_name(cx, cx.stext(i), "metric name", i + 2, out);
+                continue;
+            }
+            // `record_event("…", fields)` — direct journal calls.
+            if EVENT_FNS.iter().any(|f| cx.is_ident(i, f))
+                && cx.is_punct(i + 1, '(')
+                && !(i > 0 && cx.is_ident(i - 1, "fn"))
+            {
+                self.check_name(cx, cx.stext(i), "journal kind", i + 2, out);
             }
         }
     }

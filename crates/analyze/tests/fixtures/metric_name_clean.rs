@@ -7,6 +7,7 @@ fn instrumented(n: u64) {
     bds_trace::add_counter("bdd.demo.hits_2x", n);
     bds_trace::set_gauge("bdd.demo.load_pct", n);
     bds_trace::record_histogram("bdd.demo.depth", n);
+    bds_trace::event!("demo.choice", method = "and_dom", nodes = n);
 }
 
 #[cfg(test)]

@@ -5,4 +5,6 @@ fn instrumented(phase: &str, n: u64) {
     bds_trace::counter_add!(format!("flow.{phase}.nodes"), n);
     bds_trace::add_counter(phase, n);
     bds_trace::set_gauge("bdd.demo..load", n);
+    bds_trace::event!("DemoChoice", method = phase);
+    bds_trace::event!(format!("demo.{phase}"), nodes = n);
 }

@@ -316,37 +316,42 @@ fn run_candidate_pair<T: Send>(
     a: impl FnOnce() -> T + Send,
     b: impl FnOnce() -> T + Send,
 ) -> (T, T) {
-    let ((ra, snap_a, journal_a, tl_a), (rb, snap_b, journal_b, tl_b)) = std::thread::scope(|s| {
-        let ha = s.spawn(move || {
-            let out = a();
-            (
-                out,
-                bds_trace::take_snapshot(),
-                bds_trace::take_journal(),
-                bds_trace::timeline::take_timeline(),
-            )
+    let ((ra, snap_a, journal_a, tl_a, prof_a), (rb, snap_b, journal_b, tl_b, prof_b)) =
+        std::thread::scope(|s| {
+            let ha = s.spawn(move || {
+                let out = a();
+                (
+                    out,
+                    bds_trace::take_snapshot(),
+                    bds_trace::take_journal(),
+                    bds_trace::timeline::take_timeline(),
+                    bds_trace::profile::take_profile(),
+                )
+            });
+            let hb = s.spawn(move || {
+                let out = b();
+                (
+                    out,
+                    bds_trace::take_snapshot(),
+                    bds_trace::take_journal(),
+                    bds_trace::timeline::take_timeline(),
+                    bds_trace::profile::take_profile(),
+                )
+            });
+            let join = |h: std::thread::ScopedJoinHandle<'_, _>| match h.join() {
+                Ok(out) => out,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            (join(ha), join(hb))
         });
-        let hb = s.spawn(move || {
-            let out = b();
-            (
-                out,
-                bds_trace::take_snapshot(),
-                bds_trace::take_journal(),
-                bds_trace::timeline::take_timeline(),
-            )
-        });
-        let join = |h: std::thread::ScopedJoinHandle<'_, _>| match h.join() {
-            Ok(out) => out,
-            Err(payload) => std::panic::resume_unwind(payload),
-        };
-        (join(ha), join(hb))
-    });
     bds_trace::absorb_snapshot(&snap_a);
     bds_trace::absorb_journal(journal_a);
     bds_trace::timeline::absorb_timeline(tl_a);
+    bds_trace::profile::absorb_profile(&prof_a);
     bds_trace::absorb_snapshot(&snap_b);
     bds_trace::absorb_journal(journal_b);
     bds_trace::timeline::absorb_timeline(tl_b);
+    bds_trace::profile::absorb_profile(&prof_b);
     (ra, rb)
 }
 
@@ -677,7 +682,7 @@ fn record_degrade(sig: SignalId, rung: u8, reason: &'static str) {
 }
 
 /// Runs one rung attempt under panic quarantine. The calling thread's
-/// trace state (span registry, journal, timeline) is put aside first
+/// trace state (span registry, journal, timeline, profile) is put aside first
 /// and reinstated afterwards; on a panic the attempt's own partial
 /// recordings are discarded wholesale, so a panicked supernode leaves
 /// the merged trace exactly as if it had never run — deterministically,
@@ -694,24 +699,28 @@ fn run_quarantined<T>(
     let before_spans = bds_trace::take_snapshot_in_flight();
     let before_journal = bds_trace::take_journal();
     let before_timeline = bds_trace::timeline::take_timeline();
+    let before_profile = bds_trace::profile::take_profile();
     let outcome = catch_unwind(AssertUnwindSafe(attempt));
     let after_spans = bds_trace::take_snapshot_in_flight();
     let after_journal = bds_trace::take_journal();
     let after_timeline = bds_trace::timeline::take_timeline();
+    let after_profile = bds_trace::profile::take_profile();
     bds_trace::restore_snapshot(&before_spans);
     bds_trace::absorb_journal(before_journal);
     bds_trace::timeline::absorb_timeline(before_timeline);
+    bds_trace::profile::restore_profile(&before_profile);
     match outcome {
         Ok(v) => {
             bds_trace::restore_snapshot(&after_spans);
             bds_trace::absorb_journal(after_journal);
             bds_trace::timeline::absorb_timeline(after_timeline);
+            bds_trace::profile::restore_profile(&after_profile);
             Ok(v)
         }
         Err(payload) => {
             // Poison-proofing: the panicked attempt's partial trace
             // (`after_*`) is dropped, never merged.
-            drop((after_spans, after_journal, after_timeline));
+            drop((after_spans, after_journal, after_timeline, after_profile));
             let detail = if let Some(s) = payload.downcast_ref::<String>() {
                 s.clone()
             } else if let Some(s) = payload.downcast_ref::<&str>() {
@@ -828,6 +837,7 @@ fn decompose_sharded(
         bds_trace::Snapshot,
         bds_trace::Journal,
         bds_trace::timeline::Timeline,
+        bds_trace::profile::Profile,
     );
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
@@ -859,6 +869,7 @@ fn decompose_sharded(
                         bds_trace::take_snapshot(),
                         bds_trace::take_journal(),
                         bds_trace::timeline::take_timeline(),
+                        bds_trace::profile::take_profile(),
                     )
                 })
             })
@@ -875,10 +886,11 @@ fn decompose_sharded(
     let mut slots: Vec<Option<NodeArtifact>> = Vec::with_capacity(items.len());
     slots.resize_with(items.len(), || None);
     let mut first_err: Option<(usize, NetworkError)> = None;
-    for (done, snapshot, journal, timeline) in worker_outs {
+    for (done, snapshot, journal, timeline, profile) in worker_outs {
         bds_trace::absorb_snapshot(&snapshot);
         bds_trace::absorb_journal(journal);
         bds_trace::timeline::absorb_timeline(timeline);
+        bds_trace::profile::absorb_profile(&profile);
         for (i, r) in done {
             match r {
                 Ok(artifact) => slots[i] = Some(artifact),

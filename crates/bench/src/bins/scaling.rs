@@ -5,14 +5,17 @@
 //! ships the series explicitly.
 //!
 //! Usage: `cargo run --release --bin scaling [> scaling.csv]` — with
-//! `-- --json <path>` the same series is also written as a report.
-//! Env: `BDS_SCALING_MAX_NODES` (default 2000) bounds the sweep.
+//! `-- --json <path>` the same series is also written as a report. The
+//! trace exports (`--telemetry`, `--perfetto`, `--folded`, `--profile`)
+//! share the `table1` code paths, so the scaling sweep can feed the
+//! same tooling. Env: `BDS_SCALING_MAX_NODES` (default 2000) bounds the
+//! sweep.
 
 // lint:allow-file(print): experiment binaries report to the console by design
 
 use std::process::ExitCode;
 
-use bds::flow::{optimize, FlowParams};
+use bds::flow::{optimize, FlowParams, FlowReport};
 use bds::sis_flow::{script_rugged, SisParams};
 use bds_circuits::adder::ripple_adder;
 use bds_circuits::multiplier::multiplier;
@@ -21,16 +24,42 @@ use bds_network::Network;
 use bds_trace::json::Json;
 use bds_trace::Stopwatch;
 
-use crate::report::{envelope, parse_args, write_json};
+use crate::report::{envelope, finish_observability, parse_args, write_json, ObservedCircuit};
 
-fn time_flows(net: &Network, flow: &FlowParams) -> Result<(f64, f64), String> {
+/// One size point of the sweep: timings for the CSV plus the trace data
+/// drained across the BDS flow, so the shared observability exports see
+/// the same capture shape as the row-based binaries.
+struct Point {
+    name: String,
+    sis: f64,
+    bds: f64,
+    report: FlowReport,
+    trace: bds_trace::Snapshot,
+    journal: bds_trace::Journal,
+    timeline: bds_trace::timeline::Timeline,
+    profile: bds_trace::profile::Profile,
+}
+
+fn time_flows(name: String, net: &Network, flow: &FlowParams) -> Result<Point, String> {
     let t0 = Stopwatch::start();
     script_rugged(net, &SisParams::default()).map_err(|e| format!("baseline flow failed: {e}"))?;
     let sis = t0.seconds();
+    // Scope the trace window to the BDS flow alone, mirroring the
+    // harness: the baseline above never pollutes the capture.
+    bds_trace::reset();
     let t1 = Stopwatch::start();
-    optimize(net, flow).map_err(|e| format!("bds flow failed: {e}"))?;
+    let (_, report) = optimize(net, flow).map_err(|e| format!("bds flow failed: {e}"))?;
     let bds = t1.seconds();
-    Ok((sis, bds))
+    Ok(Point {
+        name,
+        sis,
+        bds,
+        report,
+        trace: bds_trace::take_snapshot(),
+        journal: bds_trace::take_journal(),
+        timeline: bds_trace::timeline::take_timeline(),
+        profile: bds_trace::profile::take_profile(),
+    })
 }
 
 type Family = (&'static str, Box<dyn Fn(usize) -> Network>, Vec<usize>);
@@ -49,6 +78,7 @@ pub fn main() -> ExitCode {
         .unwrap_or(2000);
     println!("family,size,nodes,sis_cpu_s,bds_cpu_s,speedup");
     let mut entries: Vec<Json> = Vec::new();
+    let mut points: Vec<Point> = Vec::new();
     let mut families: Vec<Family> = vec![
         ("bshift", Box::new(barrel_shifter), vec![8, 16, 32, 64, 128]),
         (
@@ -66,24 +96,28 @@ pub fn main() -> ExitCode {
                 eprintln!("skipping {name}{size} ({nodes} nodes > cap)");
                 continue;
             }
-            let (sis, bds) = match time_flows(&net, &flow) {
-                Ok(t) => t,
+            let point = match time_flows(format!("{name}{size}"), &net, &flow) {
+                Ok(p) => p,
                 Err(err) => {
                     eprintln!("scaling: {name}{size}: {err}");
                     return ExitCode::FAILURE;
                 }
             };
-            let speedup = sis / bds.max(1e-9);
-            println!("{name},{size},{nodes},{sis:.4},{bds:.4},{speedup:.2}");
+            let speedup = point.sis / point.bds.max(1e-9);
+            println!(
+                "{name},{size},{nodes},{:.4},{:.4},{speedup:.2}",
+                point.sis, point.bds
+            );
             entries.push(Json::Obj(vec![
-                ("name".into(), Json::Str(format!("{name}{size}"))),
+                ("name".into(), Json::Str(point.name.clone())),
                 ("family".into(), Json::Str((*name).into())),
                 ("size".into(), Json::Int(size as u64)),
                 ("nodes".into(), Json::Int(nodes as u64)),
-                ("sis_cpu_s".into(), Json::Num(sis)),
-                ("bds_cpu_s".into(), Json::Num(bds)),
+                ("sis_cpu_s".into(), Json::Num(point.sis)),
+                ("bds_cpu_s".into(), Json::Num(point.bds)),
                 ("speedup".into(), Json::Num(speedup)),
             ]));
+            points.push(point);
         }
     }
     if let Some(path) = &args.json {
@@ -93,6 +127,20 @@ pub fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         eprintln!("scaling: wrote {}", path.display());
+    }
+    let observed: Vec<ObservedCircuit<'_>> = points
+        .iter()
+        .map(|p| ObservedCircuit {
+            name: &p.name,
+            report: &p.report,
+            trace: &p.trace,
+            journal: &p.journal,
+            timeline: &p.timeline,
+            profile: &p.profile,
+        })
+        .collect();
+    if finish_observability(&args, "scaling", &observed).is_err() {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

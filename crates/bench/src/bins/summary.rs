@@ -230,6 +230,12 @@ pub fn main() -> ExitCode {
             Ok(outcome) => {
                 print!("{}", outcome.render());
                 if !outcome.passed() {
+                    // Attribution: walk both span trees and counter sets
+                    // to name the culprit paths behind the regression.
+                    match bds_trace::attr::diff_reports(doc, &fresh) {
+                        Ok(attr) => print!("{}", attr.render_blame(bds_trace::attr::DEFAULT_TOP_K)),
+                        Err(err) => eprintln!("summary: cannot attribute regression: {err}"),
+                    }
                     return ExitCode::FAILURE;
                 }
             }

@@ -61,6 +61,10 @@ pub struct Row {
     /// Sampled telemetry timeline drained across the same window (one
     /// sample per `SAMPLE_INTERVAL` ite calls). Empty without `trace`.
     pub timeline: bds_trace::timeline::Timeline,
+    /// Deterministic profile drained across the same window (one sample
+    /// per `PROFILE_INTERVAL` effort ticks, keyed by open-span path and
+    /// op class). Empty without `trace`.
+    pub profile: bds_trace::profile::Profile,
 }
 
 fn mapped(net: &Network, lib: &Library) -> MappedNetlist {
@@ -104,6 +108,9 @@ pub fn run_both(
     // Taken before verification: the verifier's BDD traffic must not
     // pollute the flow's timeline.
     let timeline = bds_trace::timeline::take_timeline();
+    // Same window as the timeline: effort-tick samples from the flow
+    // only, so profiles are byte-identical at any `jobs` count.
+    let profile = bds_trace::profile::take_profile();
     let bds_mapped = mapped(&bds_net, &lib);
     let bds_stats = bds_net.stats();
 
@@ -147,6 +154,7 @@ pub fn run_both(
         trace,
         journal,
         timeline,
+        profile,
     }
 }
 

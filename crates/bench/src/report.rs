@@ -51,6 +51,10 @@ pub struct BenchArgs {
     /// Write folded flamegraph stacks of the per-circuit span trees here
     /// (feed to `flamegraph.pl` or speedscope).
     pub folded: Option<PathBuf>,
+    /// Write the deterministic effort-tick profile here, in folded-stack
+    /// format weighted by sample counts (not wall time) — byte-identical
+    /// at any `--jobs` setting.
+    pub profile: Option<PathBuf>,
     /// Worker threads for the BDS flow (`--jobs N`; `0` = one per
     /// core). `None` keeps [`bds::flow::FlowParams`]'s default, which
     /// honors the `BDS_FLOW_JOBS` environment variable.
@@ -113,6 +117,10 @@ pub fn parse_args(bench: &str, accept_compare: bool) -> Result<BenchArgs, ExitCo
                 Some(path) => out.folded = Some(PathBuf::from(path)),
                 None => return Err(usage(bench, accept_compare, "--folded needs a path")),
             },
+            "--profile" => match args.next() {
+                Some(path) => out.profile = Some(PathBuf::from(path)),
+                None => return Err(usage(bench, accept_compare, "--profile needs a path")),
+            },
             "--jobs" => match args.next().and_then(|v| v.trim().parse().ok()) {
                 Some(jobs) => out.jobs = Some(jobs),
                 None => return Err(usage(bench, accept_compare, "--jobs needs a count")),
@@ -143,7 +151,7 @@ fn usage(bench: &str, accept_compare: bool, problem: &str) -> ExitCode {
     };
     eprintln!(
         "usage: {bench} [--json <path>] [--jobs <n>] [--trace-tree] [--perfetto <path>] \
-         [--folded <path>] [--telemetry <path>] [--live]{compare}"
+         [--folded <path>] [--profile <path>] [--telemetry <path>] [--live]{compare}"
     );
     ExitCode::from(2)
 }
@@ -174,24 +182,65 @@ fn flow_result_json(r: &crate::harness::FlowResult) -> Json {
     ])
 }
 
-/// The gated telemetry metrics for one row, in the shape
+/// The gated telemetry metrics from one flow report, in the shape
 /// [`bds_trace::gate::compare_telemetry`] reads: cache hit rate (may
 /// not drop), peak arena bytes and peak unique-table load (may not
 /// grow). All three are deterministic across `--jobs` settings.
 #[must_use]
-pub fn telemetry_json(row: &Row) -> Json {
-    let ops = &row.report.bdd_ops;
+pub fn telemetry_metrics(report: &bds::flow::FlowReport) -> Json {
+    let ops = &report.bdd_ops;
     Json::Obj(vec![
         ("cache_hit_rate".into(), Json::Num(ops.cache_hit_rate())),
         (
             "peak_arena_bytes".into(),
-            Json::Int(row.report.peak_arena_bytes as u64),
+            Json::Int(report.peak_arena_bytes as u64),
         ),
         (
             "peak_unique_load".into(),
-            Json::Num(row.report.peak_unique_load),
+            Json::Num(report.peak_unique_load),
         ),
     ])
+}
+
+/// The gated telemetry metrics for one row (see [`telemetry_metrics`]).
+#[must_use]
+pub fn telemetry_json(row: &Row) -> Json {
+    telemetry_metrics(&row.report)
+}
+
+/// Everything one circuit contributes to the observability exports,
+/// borrowed from whatever the binary keeps per circuit. [`Row`]-based
+/// binaries get one via [`ObservedCircuit::from_row`]; `scaling` builds
+/// them from its own captures so every bench shares the same
+/// `--telemetry` / `--perfetto` / `--folded` / `--profile` code paths.
+pub struct ObservedCircuit<'a> {
+    /// Circuit label used in export prefixes and telemetry entries.
+    pub name: &'a str,
+    /// The BDS flow report carrying the gated telemetry metrics.
+    pub report: &'a bds::flow::FlowReport,
+    /// Span tree + counters captured across the BDS flow.
+    pub trace: &'a Snapshot,
+    /// Flight-recorder journal drained across the same window.
+    pub journal: &'a bds_trace::Journal,
+    /// Sampled telemetry timeline drained across the same window.
+    pub timeline: &'a bds_trace::timeline::Timeline,
+    /// Deterministic effort-tick profile drained across the same window.
+    pub profile: &'a bds_trace::profile::Profile,
+}
+
+impl<'a> ObservedCircuit<'a> {
+    /// Borrows the observability capture out of a comparison row.
+    #[must_use]
+    pub fn from_row(row: &'a Row) -> Self {
+        ObservedCircuit {
+            name: &row.name,
+            report: &row.report,
+            trace: &row.trace,
+            journal: &row.journal,
+            timeline: &row.timeline,
+            profile: &row.profile,
+        }
+    }
 }
 
 /// Wraps per-circuit telemetry entries in the `bds-telemetry/v1`
@@ -199,14 +248,14 @@ pub fn telemetry_json(row: &Row) -> Json {
 /// timeline. Structural timeline fields are identical at any `--jobs`
 /// setting; only `wall_ns` values move.
 #[must_use]
-pub fn telemetry_envelope(bench: &str, jobs: usize, rows: &[Row]) -> Json {
-    let circuits = rows
+pub fn telemetry_envelope(bench: &str, jobs: usize, circuits: &[ObservedCircuit<'_>]) -> Json {
+    let circuits = circuits
         .iter()
-        .map(|row| {
+        .map(|c| {
             Json::Obj(vec![
-                ("name".into(), Json::Str(row.name.clone())),
-                ("telemetry".into(), telemetry_json(row)),
-                ("timeline".into(), row.timeline.to_json()),
+                ("name".into(), Json::Str(c.name.into())),
+                ("telemetry".into(), telemetry_metrics(c.report)),
+                ("timeline".into(), c.timeline.to_json()),
             ])
         })
         .collect();
@@ -301,13 +350,28 @@ pub fn finish_rows(args: &BenchArgs, bench: &str, rows: &[Row]) -> Result<(), Ex
         }
         eprintln!("{bench}: wrote {}", path.display());
     }
+    let observed: Vec<ObservedCircuit<'_>> = rows.iter().map(ObservedCircuit::from_row).collect();
+    finish_observability(args, bench, &observed)
+}
+
+/// Writes the trace-derived exports — `--telemetry`, `--perfetto`,
+/// `--folded`, `--profile` — for any bench that captured per-circuit
+/// observability, whether or not it uses comparison rows.
+///
+/// # Errors
+/// Returns a nonzero [`ExitCode`] when an export file cannot be written.
+pub fn finish_observability(
+    args: &BenchArgs,
+    bench: &str,
+    circuits: &[ObservedCircuit<'_>],
+) -> Result<(), ExitCode> {
     if let Some(path) = &args.telemetry {
         if !bds_trace::is_enabled() {
             eprintln!(
                 "{bench}: note: --telemetry without --features trace records an empty timeline"
             );
         }
-        let doc = telemetry_envelope(bench, args.effective_jobs(), rows);
+        let doc = telemetry_envelope(bench, args.effective_jobs(), circuits);
         if let Err(err) = write_json(path, &doc) {
             eprintln!("{bench}: cannot write {}: {err}", path.display());
             return Err(ExitCode::FAILURE);
@@ -321,8 +385,8 @@ pub fn finish_rows(args: &BenchArgs, bench: &str, rows: &[Row]) -> Result<(), Ex
         // Stitch the per-circuit journals into one timeline; drains share
         // a per-thread epoch, so timestamps are already globally ordered.
         let mut stitched = bds_trace::Journal::default();
-        for row in rows {
-            stitched.extend(row.journal.clone());
+        for c in circuits {
+            stitched.extend(c.journal.clone());
         }
         if stitched.dropped > 0 {
             eprintln!(
@@ -342,8 +406,22 @@ pub fn finish_rows(args: &BenchArgs, bench: &str, rows: &[Row]) -> Result<(), Ex
             eprintln!("{bench}: note: --folded without --features trace records no spans");
         }
         let mut folded = String::new();
-        for row in rows {
-            folded.push_str(&bds_trace::export::folded_stacks(&row.trace, &row.name));
+        for c in circuits {
+            folded.push_str(&bds_trace::export::folded_stacks(c.trace, c.name));
+        }
+        if let Err(err) = std::fs::write(path, &folded) {
+            eprintln!("{bench}: cannot write {}: {err}", path.display());
+            return Err(ExitCode::FAILURE);
+        }
+        eprintln!("{bench}: wrote {}", path.display());
+    }
+    if let Some(path) = &args.profile {
+        if !bds_trace::is_enabled() {
+            eprintln!("{bench}: note: --profile without --features trace records no samples");
+        }
+        let mut folded = String::new();
+        for c in circuits {
+            folded.push_str(&c.profile.folded(c.name));
         }
         if let Err(err) = std::fs::write(path, &folded) {
             eprintln!("{bench}: cannot write {}: {err}", path.display());
@@ -403,7 +481,7 @@ mod tests {
             &bds::flow::FlowParams::default(),
             &bds::sis_flow::SisParams::default(),
         );
-        let doc = telemetry_envelope("t", 1, std::slice::from_ref(&row));
+        let doc = telemetry_envelope("t", 1, &[ObservedCircuit::from_row(&row)]);
         let back = parse(&doc.render()).expect("parses");
         assert_eq!(
             back.get("schema").and_then(Json::as_str),

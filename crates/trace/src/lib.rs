@@ -23,7 +23,12 @@
 //!   bench `summary` tool;
 //! * a **regression gate** ([`gate`]) — threshold comparison of two
 //!   report files, shared by `bds-bench summary --compare` and
-//!   `cargo xtask perfgate`.
+//!   `cargo xtask perfgate`;
+//! * an **attribution engine** ([`attr`]) — span-level blame for gate
+//!   regressions — with a **perf history ledger** ([`ledger`], one JSON
+//!   line per gated run) and a **deterministic sampling profiler**
+//!   ([`profile`], effort-tick samples of the open span path + op
+//!   class, byte-identical at any job count).
 //!
 //! # Feature gating
 //!
@@ -76,6 +81,8 @@
 
 #![forbid(unsafe_code)]
 
+/// Perf attribution: span-level blame for report regressions.
+pub mod attr;
 /// Trace exporters: Perfetto trace-event JSON and folded flamegraph text.
 pub mod export;
 /// Perf-regression gate: threshold comparison of two report files.
@@ -84,7 +91,11 @@ pub mod gate;
 pub mod journal;
 /// Serde-free JSON value, renderer and parser for report files.
 pub mod json;
+/// Perf history ledger: one JSON line per gated run.
+pub mod ledger;
 mod macros;
+/// Deterministic sampling profiler: effort-tick samples of span + op.
+pub mod profile;
 mod registry;
 mod span;
 /// Sampled telemetry timeline: deterministic periodic gauge samples.
@@ -101,13 +112,15 @@ pub use registry::{
 pub use span::{fmt_duration_ns, span_enter, NoopSpan, SpanGuard, Stopwatch};
 
 /// Clears every metric on this thread — registry (counters, gauges,
-/// histograms, spans) and journal events alike. The journal's timestamp
-/// epoch and ring capacity survive, so events recorded after a reset
-/// still share one ordered timeline with earlier drains.
+/// histograms, spans), journal events, timeline samples and profiler
+/// samples alike. The journal's timestamp epoch and ring capacity
+/// survive, so events recorded after a reset still share one ordered
+/// timeline with earlier drains.
 pub fn reset() {
     registry::reset();
     journal::clear_journal();
     timeline::clear_timeline();
+    profile::clear_profile();
 }
 
 /// `true` when the crate was built with the `enabled` feature, i.e. the

@@ -736,6 +736,13 @@ pub fn restore_snapshot(snap: &Snapshot) {
     });
 }
 
+/// Names of the currently open spans on this thread, outermost first.
+/// The profiler uses this to attribute an effort-tick sample to the
+/// live span path.
+pub(crate) fn open_span_path() -> Vec<String> {
+    with(|r| r.stack.iter().map(|&i| r.arena[i].name.clone()).collect())
+}
+
 /// Internal hook for `SpanGuard`.
 pub(crate) fn enter_named(name: &'static str) {
     with(|r| {

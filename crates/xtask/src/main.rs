@@ -1,6 +1,6 @@
 //! Workspace automation (`cargo xtask`).
 //!
-//! Three subcommands:
+//! Four subcommands:
 //!
 //! * `cargo xtask lint [--json <path>]` — the custom workspace lints,
 //!   implemented by the in-tree static analyzer (`crates/analyze`,
@@ -44,6 +44,20 @@
 //!   [`bds_trace::gate::compare_telemetry`]. All three are
 //!   deterministic across `--jobs` settings, so the telemetry gate is
 //!   exact (modulo float round-tripping).
+//!
+//!   On any regression the gate **attributes the blame**: it diffs the
+//!   baseline and fresh span trees through [`bds_trace::attr`] and
+//!   prints the top culprit span paths by self-time growth. The full
+//!   attribution report (`bds-attr-report/v1`) is always written to
+//!   `target/perfgate/attr.json`, and self-run gates also leave the
+//!   Perfetto/folded/profile exports under `target/perfgate/` for CI
+//!   artifacts. `--record` appends one `bds-perf-ledger/v1` line to
+//!   `results/history/perf.jsonl` when the gate passes.
+//!
+//! * `cargo xtask perfhist [--ledger <path>] [--check]` — renders the
+//!   perf history ledger as a trend table (wall-time deltas vs the
+//!   previous entry and vs the seed row). `--check` only validates the
+//!   ledger, so CI fails fast on a malformed line.
 
 #![forbid(unsafe_code)]
 
@@ -56,13 +70,17 @@ fn main() -> ExitCode {
         Some("lint") => run_lint(&args[1..]),
         Some("ci") => run_ci(),
         Some("perfgate") => run_perfgate(&args[1..]),
+        Some("perfhist") => run_perfhist(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask <lint|ci|perfgate>");
+            eprintln!("usage: cargo xtask <lint|ci|perfgate|perfhist>");
             eprintln!("  lint      run the static analyzer [--json <path>]");
             eprintln!("  ci        fmt --check, clippy -D warnings, custom lints, tests");
             eprintln!("  perfgate  gate a fresh table1 run against the checked-in baseline");
             eprintln!("            [--baseline <report.json>] [--fresh <report.json>]");
-            eprintln!("            [--telemetry-baseline <telemetry.json>] [--jobs <n>]");
+            eprintln!(
+                "            [--telemetry-baseline <telemetry.json>] [--jobs <n>] [--record]"
+            );
+            eprintln!("  perfhist  render the perf history ledger [--ledger <path>] [--check]");
             ExitCode::from(2)
         }
     }
@@ -218,12 +236,29 @@ const FRESH_TELEMETRY: &str = "target/perfgate/telemetry.json";
 /// Default telemetry baseline: the checked-in `bds-telemetry/v1` file.
 const TELEMETRY_BASELINE: &str = "results/TELEMETRY.json";
 
+/// Where self-run gates leave the Perfetto trace-event export.
+const FRESH_PERFETTO: &str = "target/perfgate/perfetto.json";
+
+/// Where self-run gates leave the folded flamegraph stacks.
+const FRESH_FOLDED: &str = "target/perfgate/folded.txt";
+
+/// Where self-run gates leave the deterministic effort-tick profile.
+const FRESH_PROFILE: &str = "target/perfgate/profile.txt";
+
+/// Where every gate leaves the span-level attribution report.
+const ATTR_REPORT: &str = "target/perfgate/attr.json";
+
+/// The perf history ledger: one `bds-perf-ledger/v1` line per recorded
+/// gate run, appended by `perfgate --record`, rendered by `perfhist`.
+const LEDGER_PATH: &str = "results/history/perf.jsonl";
+
 fn run_perfgate(args: &[String]) -> ExitCode {
     let root = workspace_root();
     let mut baseline = root.join(BASELINE_REPORT);
     let mut telemetry_baseline = root.join(TELEMETRY_BASELINE);
     let mut fresh: Option<PathBuf> = None;
     let mut jobs: Option<String> = None;
+    let mut record = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -243,6 +278,7 @@ fn run_perfgate(args: &[String]) -> ExitCode {
                 Some(n) => jobs = Some(n.to_string()),
                 None => return perfgate_usage("--jobs needs a count"),
             },
+            "--record" => record = true,
             other => return perfgate_usage(&format!("unknown flag {other}")),
         }
     }
@@ -276,6 +312,15 @@ fn run_perfgate(args: &[String]) -> ExitCode {
                 FRESH_REPORT,
                 "--telemetry",
                 FRESH_TELEMETRY,
+                // Exporters ride along on every self-run gate so CI can
+                // upload the Perfetto trace, the folded span stacks and
+                // the deterministic profile next to the report.
+                "--perfetto",
+                FRESH_PERFETTO,
+                "--folded",
+                FRESH_FOLDED,
+                "--profile",
+                FRESH_PROFILE,
             ];
             if let Some(n) = &jobs {
                 cargo_args.push("--jobs");
@@ -335,6 +380,29 @@ fn run_perfgate(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Attribution: diff the two span trees and counter sets. The full
+    // report is always written (CI uploads it either way); the blame
+    // table is only printed when the gate actually failed.
+    match bds_trace::attr::diff_reports(&baseline_doc, &fresh_doc) {
+        Ok(attr) => {
+            let attr_path = root.join(ATTR_REPORT);
+            if let Some(parent) = attr_path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            match std::fs::write(&attr_path, attr.to_json().render()) {
+                Ok(()) => println!("perfgate: wrote {}", attr_path.display()),
+                Err(err) => {
+                    eprintln!("perfgate: cannot write {}: {err}", attr_path.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+            if !outcome.passed() {
+                print!("{}", attr.render_blame(bds_trace::attr::DEFAULT_TOP_K));
+            }
+        }
+        Err(err) => eprintln!("perfgate: cannot attribute: {err}"),
+    }
+
     // Engine-telemetry gate: exact comparison of cache hit rate and the
     // memory peaks when both the checked-in baseline and a fresh
     // telemetry document exist.
@@ -357,12 +425,131 @@ fn run_perfgate(args: &[String]) -> ExitCode {
     }
 
     if outcome.passed() && !telemetry_failed {
+        if record {
+            if let Err(err) = record_ledger(&root, &fresh_doc, fresh_telemetry.as_deref()) {
+                eprintln!("perfgate: cannot record ledger entry: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
         println!("perfgate: OK");
         ExitCode::SUCCESS
     } else {
+        if record {
+            eprintln!("perfgate: gate failed — not recording a ledger entry");
+        }
         eprintln!("perfgate: FAILED");
         ExitCode::FAILURE
     }
+}
+
+/// Appends one `bds-perf-ledger/v1` line for the gated run to
+/// `results/history/perf.jsonl`, stamped with the current short commit
+/// hash (`unknown` outside a git checkout).
+fn record_ledger(
+    root: &Path,
+    fresh_doc: &bds_trace::json::Json,
+    telemetry: Option<&Path>,
+) -> Result<(), String> {
+    let telemetry_doc = match telemetry {
+        Some(path) => Some(load_report(path).map_err(|e| format!("{}: {e}", path.display()))?),
+        None => None,
+    };
+    let entry = bds_trace::ledger::LedgerEntry::from_report(
+        fresh_doc,
+        telemetry_doc.as_ref(),
+        &short_commit(root),
+    )?;
+    let path = root.join(LEDGER_PATH);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+    }
+    let mut text = std::fs::read_to_string(&path).unwrap_or_default();
+    // Validate before appending: a corrupt ledger should fail loudly
+    // here, not later in `perfhist --check`.
+    bds_trace::ledger::parse_ledger(&text).map_err(|e| format!("existing ledger invalid: {e}"))?;
+    if !text.is_empty() && !text.ends_with('\n') {
+        text.push('\n');
+    }
+    text.push_str(&entry.to_line());
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| e.to_string())?;
+    println!(
+        "perfgate: recorded {} ({} circuits, {:.3}s) -> {}",
+        entry.commit,
+        entry.circuits,
+        entry.seconds,
+        path.display()
+    );
+    Ok(())
+}
+
+/// The current short commit hash, or `unknown` when git is unavailable.
+fn short_commit(root: &Path) -> String {
+    Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .current_dir(root)
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+// ---------------------------------------------------------------------------
+// `cargo xtask perfhist`
+// ---------------------------------------------------------------------------
+
+fn run_perfhist(args: &[String]) -> ExitCode {
+    let root = workspace_root();
+    let mut ledger = root.join(LEDGER_PATH);
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ledger" => match it.next() {
+                Some(p) => ledger = PathBuf::from(p),
+                None => return perfhist_usage("--ledger needs a path"),
+            },
+            "--check" => check = true,
+            other => return perfhist_usage(&format!("unknown flag {other}")),
+        }
+    }
+    let text = match std::fs::read_to_string(&ledger) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("perfhist: cannot read {}: {err}", ledger.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let entries = match bds_trace::ledger::parse_ledger(&text) {
+        Ok(entries) => entries,
+        Err(err) => {
+            eprintln!("perfhist: {}: {err}", ledger.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if entries.is_empty() {
+        eprintln!("perfhist: {} has no entries", ledger.display());
+        return ExitCode::FAILURE;
+    }
+    if check {
+        println!(
+            "perfhist: {} OK ({} entries)",
+            ledger.display(),
+            entries.len()
+        );
+    } else {
+        print!("{}", bds_trace::ledger::render_history(&entries));
+    }
+    ExitCode::SUCCESS
+}
+
+fn perfhist_usage(problem: &str) -> ExitCode {
+    eprintln!("perfhist: {problem}");
+    eprintln!("usage: cargo xtask perfhist [--ledger <perf.jsonl>] [--check]");
+    ExitCode::from(2)
 }
 
 /// Runs the telemetry gate between two `bds-telemetry/v1` files.
@@ -393,7 +580,7 @@ fn perfgate_usage(problem: &str) -> ExitCode {
     eprintln!("perfgate: {problem}");
     eprintln!(
         "usage: cargo xtask perfgate [--baseline <report.json>] [--fresh <report.json>] \
-         [--telemetry-baseline <telemetry.json>] [--jobs <n>]"
+         [--telemetry-baseline <telemetry.json>] [--jobs <n>] [--record]"
     );
     ExitCode::from(2)
 }

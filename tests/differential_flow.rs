@@ -243,6 +243,47 @@ fn jobs1_and_jobs4_timelines_are_structurally_identical() {
 }
 
 #[test]
+fn jobs1_and_jobs4_profiles_are_byte_identical() {
+    // The effort-tick profiler samples on a clock that is a pure
+    // function of the work performed, and worker samples are grafted
+    // under the coordinator's open span exactly like snapshot spans —
+    // so the rendered profile must be byte-for-byte identical at any
+    // job count, sample counts included (not just structurally).
+    // Without `--features trace` sampling is compiled out entirely.
+    let suite: Vec<(String, Network)> = vec![
+        ("csel8".into(), carry_select_adder(8, 2)),
+        ("ecc16".into(), hamming_encoder(16)),
+        ("m4x4".into(), multiplier(4, 4)),
+    ];
+    for (name, net) in suite {
+        bds_trace::reset();
+        let _ = optimize(&net, &params(1)).unwrap();
+        let seq = bds_trace::profile::take_profile();
+        bds_trace::reset();
+        let _ = optimize(&net, &params(4)).unwrap();
+        let par = bds_trace::profile::take_profile();
+        assert_eq!(
+            seq.to_json().render(),
+            par.to_json().render(),
+            "{name}: profile diverged between jobs=1 and jobs=4"
+        );
+        assert_eq!(
+            seq.folded(&name),
+            par.folded(&name),
+            "{name}: folded profile diverged between jobs=1 and jobs=4"
+        );
+        if bds_trace::is_enabled() {
+            assert!(
+                !seq.is_empty(),
+                "{name}: trace-enabled run should have sampled the profile"
+            );
+        } else {
+            assert!(seq.is_empty() && par.is_empty());
+        }
+    }
+}
+
+#[test]
 fn jobs4_trace_counters_match_sequential() {
     // Counters and span call counts — not just the final network — must
     // be independent of the thread count: workers drain their

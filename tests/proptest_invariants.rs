@@ -321,3 +321,111 @@ fn random_net(prog: &[(u8, u8, bool)], seed: u64) -> Network {
     net.mark_output(acc).expect("valid");
     net
 }
+
+// ---------------------------------------------------------------------------
+// Trace registry: the mid-flight capture protocol
+// ---------------------------------------------------------------------------
+
+/// One step of a random registry workload: open a span, close the
+/// innermost one, or record a counter/gauge/histogram value.
+type RegistryOp = (u8, u32, u64);
+
+fn random_registry_program(rng: &mut Rng) -> Vec<RegistryOp> {
+    let len = rng.range_usize(1..24);
+    (0..len)
+        .map(|_| {
+            (
+                rng.range_u32(0..5) as u8,
+                rng.next_u64() as u32,
+                rng.range_u64(0..100),
+            )
+        })
+        .collect()
+}
+
+/// Wall-clock-free projection of a snapshot: counters, gauges, histogram
+/// totals, and span call counts by path, sorted. Two runs of the same
+/// program agree on this even though their span timings differ. The
+/// sort matters for the spans: the tree merges by `(parent, name)`, so
+/// sibling *order* is insertion-dependent (a re-opened chain root lands
+/// first) and deliberately outside the round-trip contract.
+fn registry_view(snap: &bds_trace::Snapshot) -> Vec<(String, u64)> {
+    fn spans(prefix: &str, nodes: &[bds_trace::SpanSnap], out: &mut Vec<(String, u64)>) {
+        for s in nodes {
+            let path = format!("{prefix};{}", s.name);
+            out.push((path.clone(), s.calls));
+            spans(&path, &s.children, out);
+        }
+    }
+    let mut view: Vec<(String, u64)> = Vec::new();
+    for (name, v) in &snap.counters {
+        view.push((format!("counter:{name}"), *v));
+    }
+    for (name, v) in &snap.gauges {
+        view.push((format!("gauge:{name}"), *v));
+    }
+    for (name, h) in &snap.histograms {
+        view.push((format!("histogram:{name}"), h.count));
+    }
+    spans("span", &snap.spans, &mut view);
+    view.sort();
+    view
+}
+
+/// Runs `prog` against a fresh registry, optionally inserting a
+/// `take_snapshot_in_flight` → `restore_snapshot` pair before step
+/// `round_trip_at`, and returns the final quiescent projection.
+fn run_registry_program(prog: &[RegistryOp], round_trip_at: Option<usize>) -> Vec<(String, u64)> {
+    const SPANS: [&str; 4] = ["flow", "flow.build", "flow.decompose", "flow.sharing"];
+    const COUNTERS: [&str; 2] = ["prop.steps", "prop.nodes"];
+    const GAUGES: [&str; 2] = ["prop.peak", "prop.load"];
+    bds_trace::reset();
+    let mut guards = Vec::new();
+    for (i, &(op, sel, val)) in prog.iter().enumerate() {
+        if round_trip_at == Some(i) {
+            let depth = bds_trace::span_depth();
+            let snap = bds_trace::take_snapshot_in_flight();
+            assert_eq!(
+                bds_trace::span_depth(),
+                depth,
+                "in-flight capture must re-open the span chain"
+            );
+            bds_trace::restore_snapshot(&snap);
+            assert_eq!(
+                bds_trace::span_depth(),
+                depth,
+                "restore must not disturb the open chain"
+            );
+        }
+        let sel = sel as usize;
+        match op {
+            0 => guards.push(bds_trace::span_enter(SPANS[sel % SPANS.len()])),
+            1 => drop(guards.pop()),
+            2 => bds_trace::add_counter(COUNTERS[sel % COUNTERS.len()], val),
+            3 => bds_trace::set_gauge(GAUGES[sel % GAUGES.len()], val),
+            _ => bds_trace::record_histogram("prop.latency", val),
+        }
+    }
+    drop(guards);
+    registry_view(&bds_trace::take_snapshot())
+}
+
+/// The mid-flight capture protocol round-trips the registry:
+/// `take_snapshot_in_flight` immediately followed by `restore_snapshot`
+/// is a no-op — same counters, gauges, histogram counts, span call tree
+/// and open-span depth — wherever the pair lands inside a random
+/// span-nesting workload. This is the invariant the quarantined flow
+/// leans on when it rolls a poisoned capture window back.
+#[test]
+fn in_flight_capture_then_restore_is_identity() {
+    check_cases("in-flight capture round-trip", CASES, |rng| {
+        let prog = random_registry_program(rng);
+        let at = rng.range_usize(0..prog.len().max(1));
+        let expected = run_registry_program(&prog, None);
+        let actual = run_registry_program(&prog, Some(at));
+        assert_eq!(
+            actual, expected,
+            "round-trip at step {at} changed the registry"
+        );
+    });
+}
