@@ -1,0 +1,51 @@
+//! The oracle-scope rule: the reference engine stays test-only.
+//!
+//! `bds_bdd::oracle` is a deliberately naive truth-table engine that
+//! exists to *gate* the fast engine in differential tests. If library
+//! code ever reached it — to "double-check" a result, say, or worse, as
+//! a fallback path — the oracle would stop being an independent
+//! referee, and its exponential tables would be a production
+//! time bomb. This rule keeps every mention of the oracle inside
+//! `#[cfg(test)]` regions of library code; test trees (`tests/`,
+//! fixtures) are exempt by classification, and the oracle's own module
+//! plus the `mod oracle;` declaration in `lib.rs` are the two
+//! deliberate exceptions.
+
+use super::{Diagnostic, FileCx, Rule};
+
+/// No `oracle` references outside `#[cfg(test)]` in library code.
+pub struct OracleScopeRule;
+
+impl Rule for OracleScopeRule {
+    fn name(&self) -> &'static str {
+        "oracle-scope"
+    }
+
+    fn applies(&self, cx: &FileCx<'_>) -> bool {
+        // The oracle module itself is the one library file allowed to
+        // talk about oracles.
+        cx.class.library && !cx.rel_s.ends_with("src/oracle.rs")
+    }
+
+    fn check(&self, cx: &FileCx<'_>, out: &mut Vec<Diagnostic>) {
+        for i in 0..cx.sig.len() {
+            if !cx.is_ident(i, "oracle") || cx.in_test(i) {
+                continue;
+            }
+            // The crate root's module declaration (`pub mod oracle;`)
+            // is how the module exists at all; `mod` directly before
+            // the identifier marks it.
+            if i > 0 && cx.is_ident(i - 1, "mod") {
+                continue;
+            }
+            out.push(cx.diag_at(
+                i,
+                self.name(),
+                "reference to the test-only oracle engine outside `#[cfg(test)]`".to_string(),
+                "the truth-table oracle is a differential-test referee, not a library \
+                 dependency; move the use under `#[cfg(test)]` or justify with \
+                 `// lint:allow(oracle-scope) — <reason>`",
+            ));
+        }
+    }
+}

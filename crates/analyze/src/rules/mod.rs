@@ -15,6 +15,7 @@ use std::path::Path;
 mod concurrency;
 mod determinism;
 mod docs;
+mod isolation;
 mod metrics;
 mod panics;
 mod timing;
@@ -150,6 +151,7 @@ pub fn registry() -> Vec<Box<dyn Rule>> {
         Box::new(unwind::UnwindRule),
         Box::new(unsafe_root::ForbidUnsafeRule),
         Box::new(metrics::MetricNameRule),
+        Box::new(isolation::OracleScopeRule),
     ]
 }
 

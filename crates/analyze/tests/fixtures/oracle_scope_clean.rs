@@ -1,0 +1,13 @@
+//@path: crates/bdd/src/lib.rs
+#![forbid(unsafe_code)]
+
+/// Test-only truth-table reference engine.
+pub mod oracle;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn agrees_with_reference() {
+        assert!(crate::oracle::MAX_VARS >= 1);
+    }
+}

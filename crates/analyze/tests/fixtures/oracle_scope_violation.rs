@@ -1,0 +1,4 @@
+//@path: crates/bdd/src/shortcut.rs
+fn double_check(bits: usize) -> usize {
+    crate::oracle::MAX_VARS.min(bits)
+}

@@ -120,6 +120,7 @@ fn every_rule_has_fixture_coverage() {
         "unwind",
         "forbid-unsafe",
         "metric-name",
+        "oracle-scope",
         "stale-allow",
         "allow-justification",
     ];

@@ -1,7 +1,9 @@
 //! The ITE operator and derived Boolean connectives.
 
+use crate::canon::IteNorm;
 use crate::edge::Edge;
 use crate::manager::Manager;
+use crate::nid::IteKey;
 use crate::stats::miss_depth_bucket;
 use crate::Result;
 
@@ -34,102 +36,20 @@ impl Manager {
         {
             self.sample_timeline();
         }
-        // --- terminal cases -------------------------------------------------
-        if f.is_one() {
-            self.ops.terminal_hits += 1;
-            return Ok(g);
-        }
-        if f.is_zero() {
-            self.ops.terminal_hits += 1;
-            return Ok(h);
-        }
-        if g == h {
-            self.ops.terminal_hits += 1;
-            return Ok(g);
-        }
-        if g.is_one() && h.is_zero() {
-            self.ops.terminal_hits += 1;
-            return Ok(f);
-        }
-        if g.is_zero() && h.is_one() {
-            self.ops.terminal_hits += 1;
-            return Ok(f.complement());
-        }
+        // Canonical standard triple (terminal rules, argument
+        // substitution, symmetry and complement normalization — see
+        // `canon.rs`): structurally equal queries reach the computed
+        // table under one bit-identical key.
+        let (f, g, h, negate) = match self.canonicalize_ite(f, g, h) {
+            IteNorm::Done(r) => {
+                self.ops.terminal_hits += 1;
+                return Ok(r);
+            }
+            IteNorm::Triple { f, g, h, negate } => (f, g, h, negate),
+        };
 
-        // --- argument normalization -----------------------------------------
-        let (mut f, mut g, mut h) = (f, g, h);
-        if g == f {
-            g = Edge::ONE; // ite(f, f, h) = ite(f, 1, h)
-        } else if g == f.complement() {
-            g = Edge::ZERO; // ite(f, f̄, h) = ite(f, 0, h)
-        }
-        if h == f {
-            h = Edge::ZERO; // ite(f, g, f) = ite(f, g, 0)
-        } else if h == f.complement() {
-            h = Edge::ONE; // ite(f, g, f̄) = ite(f, g, 1)
-        }
-        // Re-check terminal cases after substitution.
-        if g == h {
-            self.ops.terminal_hits += 1;
-            return Ok(g);
-        }
-        if g.is_one() && h.is_zero() {
-            self.ops.terminal_hits += 1;
-            return Ok(f);
-        }
-        if g.is_zero() && h.is_one() {
-            self.ops.terminal_hits += 1;
-            return Ok(f.complement());
-        }
-
-        // Commutative symmetries: pick the representative with the
-        // lower-level (then lower-raw) first argument.
-        if g.is_one() {
-            // ite(f, 1, h) = f + h = ite(h, 1, f)
-            if self.rank(h, f) {
-                std::mem::swap(&mut f, &mut h);
-            }
-        } else if h.is_zero() {
-            // ite(f, g, 0) = f · g = ite(g, f, 0)
-            if self.rank(g, f) {
-                std::mem::swap(&mut f, &mut g);
-            }
-        } else if g.is_zero() {
-            // ite(f, 0, h) = f̄ · h = ite(h̄, 0, f̄)  … normalize via (h̄, 0, f̄)
-            if self.rank(h, f) {
-                let nf = f.complement();
-                f = h.complement();
-                h = nf;
-            }
-        } else if h.is_one() {
-            // ite(f, g, 1) = f̄ + g = ite(ḡ, f̄, 1)
-            if self.rank(g, f) {
-                let nf = f.complement();
-                f = g.complement();
-                g = nf;
-            }
-        } else if g == h.complement() {
-            // ite(f, g, ḡ) = f ⊙ g; canonical first arg.
-            if self.rank(g, f) {
-                std::mem::swap(&mut f, &mut g);
-                h = g.complement();
-            }
-        }
-
-        // Complement-edge normalization: first argument regular…
-        if f.is_complemented() {
-            f = f.complement();
-            std::mem::swap(&mut g, &mut h);
-        }
-        // …and then-result regular (complement the output instead).
-        let mut negate = false;
-        if g.is_complemented() {
-            negate = true;
-            g = g.complement();
-            h = h.complement();
-        }
-
-        if let Some(&cached) = self.ite_cache.get(&(f, g, h)) {
+        let key = IteKey::pack(f, g, h);
+        if let Some(&cached) = self.ite_cache.get(&key) {
             self.ops.cache_hits += 1;
             return Ok(cached.complement_if(negate));
         }
@@ -147,7 +67,7 @@ impl Manager {
         let t = self.ite_rec(f1, g1, h1, depth + 1)?;
         let e = self.ite_rec(f0, g0, h0, depth + 1)?;
         let r = self.mk(level, t, e)?;
-        self.ite_cache.insert((f, g, h), r);
+        self.ite_cache.insert(key, r);
         Ok(r.complement_if(negate))
     }
 
@@ -169,13 +89,6 @@ impl Manager {
                 cache_misses: self.ops.cache_misses,
             },
         );
-    }
-
-    /// True when `a` should precede `b` in the canonical ITE argument order.
-    #[inline]
-    fn rank(&self, a: Edge, b: Edge) -> bool {
-        let (la, lb) = (self.node_level(a), self.node_level(b));
-        la < lb || (la == lb && a.regular().raw() < b.regular().raw())
     }
 
     /// Shallow cofactors of `e` with respect to the variable at `level`.

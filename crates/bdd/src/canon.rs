@@ -1,0 +1,256 @@
+//! Canonical ITE triples — the "standard triples" of Brace–Rudell–Bryant
+//! (and the blue book, p. 115).
+//!
+//! Many syntactically different `ite(f, g, h)` queries compute the same
+//! function: `and(a, b)` arrives as `ite(a, b, 0)` or `ite(b, a, 0)`
+//! depending on the caller, `or` is `ite(f, 1, h)` with the same
+//! symmetry, and complement edges multiply every variant by phase
+//! choices. If each variant got its own computed-table entry, the cache
+//! would fragment and the measured hit rate would sag — exactly the
+//! ~31% plateau the pre-rework baseline showed.
+//!
+//! [`Manager::canonicalize_ite`] reduces a triple to its canonical
+//! *standard triple* before the computed table is consulted:
+//!
+//! 1. **terminal rules** — constant or degenerate triples resolve to an
+//!    existing edge outright ([`IteNorm::Done`]);
+//! 2. **argument substitution** — `g`/`h` equal to `f` or `f̄` collapse
+//!    to constants (`ite(f, f, h) = ite(f, 1, h)`, …);
+//! 3. **commutative symmetry** — when the operator is symmetric in two
+//!    arguments (`f·g`, `f+h`, `f ⊕ g`, …) the variable-order rank
+//!    picks one representative argument order;
+//! 4. **complement normalization** — `f` is made regular by swapping
+//!    the branches, then `g` is made regular by complementing the
+//!    *output* instead ([`IteNorm::Triple::negate`]).
+//!
+//! The function is **pure** (no allocation, no table access, no
+//! counters) and **idempotent**: canonicalizing a canonical triple
+//! returns it unchanged with `negate == false`. Both properties are
+//! enforced by the randomized oracle suite in `tests/engine_oracle.rs`.
+
+use crate::edge::Edge;
+use crate::manager::Manager;
+
+/// Result of [`Manager::canonicalize_ite`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum IteNorm {
+    /// The triple resolved to an existing function by a terminal rule —
+    /// no node construction and no computed-table traffic needed.
+    Done(Edge),
+    /// The canonical standard triple plus an output-complement flag:
+    /// `ite(original) = ite(f, g, h) ⊕ negate`.
+    Triple {
+        /// First argument: regular and non-constant.
+        f: Edge,
+        /// Then-branch: regular (its complement phase moved to `negate`).
+        g: Edge,
+        /// Else-branch: unrestricted phase.
+        h: Edge,
+        /// Whether the result of the canonical triple must be
+        /// complemented to recover the original function.
+        negate: bool,
+    },
+}
+
+impl Manager {
+    /// Reduces `(f, g, h)` to canonical form (see the `canon.rs` module
+    /// docs). Pure: reads only node levels, never touches the tables or
+    /// the counters.
+    #[must_use]
+    pub fn canonicalize_ite(&self, f: Edge, g: Edge, h: Edge) -> IteNorm {
+        // --- terminal rules ---------------------------------------------
+        if f.is_one() {
+            return IteNorm::Done(g);
+        }
+        if f.is_zero() {
+            return IteNorm::Done(h);
+        }
+        if g == h {
+            return IteNorm::Done(g);
+        }
+        if g.is_one() && h.is_zero() {
+            return IteNorm::Done(f);
+        }
+        if g.is_zero() && h.is_one() {
+            return IteNorm::Done(f.complement());
+        }
+
+        // --- argument substitution --------------------------------------
+        let (mut f, mut g, mut h) = (f, g, h);
+        if g == f {
+            g = Edge::ONE; // ite(f, f, h) = ite(f, 1, h)
+        } else if g == f.complement() {
+            g = Edge::ZERO; // ite(f, f̄, h) = ite(f, 0, h)
+        }
+        if h == f {
+            h = Edge::ZERO; // ite(f, g, f) = ite(f, g, 0)
+        } else if h == f.complement() {
+            h = Edge::ONE; // ite(f, g, f̄) = ite(f, g, 1)
+        }
+        // Re-check the terminal rules after substitution.
+        if g == h {
+            return IteNorm::Done(g);
+        }
+        if g.is_one() && h.is_zero() {
+            return IteNorm::Done(f);
+        }
+        if g.is_zero() && h.is_one() {
+            return IteNorm::Done(f.complement());
+        }
+
+        // --- commutative symmetry ---------------------------------------
+        // Pick the representative with the lower-ranked first argument.
+        if g.is_one() {
+            // ite(f, 1, h) = f + h = ite(h, 1, f)
+            if self.rank(h, f) {
+                std::mem::swap(&mut f, &mut h);
+            }
+        } else if h.is_zero() {
+            // ite(f, g, 0) = f · g = ite(g, f, 0)
+            if self.rank(g, f) {
+                std::mem::swap(&mut f, &mut g);
+            }
+        } else if g.is_zero() {
+            // ite(f, 0, h) = f̄ · h = ite(h̄, 0, f̄)
+            if self.rank(h, f) {
+                let nf = f.complement();
+                f = h.complement();
+                h = nf;
+            }
+        } else if h.is_one() {
+            // ite(f, g, 1) = f̄ + g = ite(ḡ, f̄, 1)
+            if self.rank(g, f) {
+                let nf = f.complement();
+                f = g.complement();
+                g = nf;
+            }
+        } else if g == h.complement() {
+            // ite(f, g, ḡ) = f ⊙ g; canonical first argument.
+            if self.rank(g, f) {
+                std::mem::swap(&mut f, &mut g);
+                h = g.complement();
+            }
+        }
+
+        // --- complement normalization -----------------------------------
+        // First argument regular…
+        if f.is_complemented() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        // …then-branch regular; complement the output instead.
+        let mut negate = false;
+        if g.is_complemented() {
+            negate = true;
+            g = g.complement();
+            h = h.complement();
+        }
+        IteNorm::Triple { f, g, h, negate }
+    }
+
+    /// True when `a` should precede `b` in the canonical ITE argument
+    /// order: lower level first, ties broken by the lower regular nid.
+    #[inline]
+    pub(crate) fn rank(&self, a: Edge, b: Edge) -> bool {
+        let (la, lb) = (self.node_level(a), self.node_level(b));
+        la < lb || (la == lb && a.regular().raw() < b.regular().raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Manager, Edge, Edge, Edge) {
+        let mut m = Manager::new();
+        let vars = m.new_vars(3);
+        let la = m.literal(vars[0], true);
+        let lb = m.literal(vars[1], true);
+        let lc = m.literal(vars[2], true);
+        (m, la, lb, lc)
+    }
+
+    #[test]
+    fn terminal_rules_resolve_outright() {
+        let (m, a, b, _) = setup();
+        assert_eq!(m.canonicalize_ite(Edge::ONE, a, b), IteNorm::Done(a));
+        assert_eq!(m.canonicalize_ite(Edge::ZERO, a, b), IteNorm::Done(b));
+        assert_eq!(m.canonicalize_ite(a, b, b), IteNorm::Done(b));
+        assert_eq!(
+            m.canonicalize_ite(a, Edge::ONE, Edge::ZERO),
+            IteNorm::Done(a)
+        );
+        assert_eq!(
+            m.canonicalize_ite(a, Edge::ZERO, Edge::ONE),
+            IteNorm::Done(a.complement())
+        );
+    }
+
+    #[test]
+    fn substitution_collapses_self_arguments() {
+        let (m, a, b, _) = setup();
+        // ite(a, a, b) = ite(a, 1, b) → canonical or-triple.
+        let IteNorm::Triple { g, .. } = m.canonicalize_ite(a, a, b) else {
+            panic!("expected a triple");
+        };
+        assert!(g.is_one() || !g.is_complemented());
+        // ite(a, ā, ā) resolves: g := 0, h := 1 ⇒ Done(ā).
+        let r = m.canonicalize_ite(a, a.complement(), a.complement());
+        assert_eq!(r, IteNorm::Done(a.complement()));
+    }
+
+    #[test]
+    fn symmetric_calls_share_a_triple() {
+        let (m, a, b, _) = setup();
+        // and(a, b) vs and(b, a).
+        let ab = m.canonicalize_ite(a, b, Edge::ZERO);
+        let ba = m.canonicalize_ite(b, a, Edge::ZERO);
+        assert_eq!(ab, ba);
+        // or(a, b) vs or(b, a).
+        let oab = m.canonicalize_ite(a, Edge::ONE, b);
+        let oba = m.canonicalize_ite(b, Edge::ONE, a);
+        assert_eq!(oab, oba);
+    }
+
+    #[test]
+    fn canonical_triple_is_regular_and_idempotent() {
+        let (m, a, b, c) = setup();
+        let pool = [
+            a,
+            a.complement(),
+            b,
+            b.complement(),
+            c,
+            Edge::ONE,
+            Edge::ZERO,
+        ];
+        for &f in &pool {
+            for &g in &pool {
+                for &h in &pool {
+                    let IteNorm::Triple {
+                        f: cf,
+                        g: cg,
+                        h: ch,
+                        ..
+                    } = m.canonicalize_ite(f, g, h)
+                    else {
+                        continue;
+                    };
+                    assert!(!cf.is_complemented() && !cf.is_const());
+                    assert!(!cg.is_complemented());
+                    let again = m.canonicalize_ite(cf, cg, ch);
+                    assert_eq!(
+                        again,
+                        IteNorm::Triple {
+                            f: cf,
+                            g: cg,
+                            h: ch,
+                            negate: false
+                        },
+                        "canonicalize must be idempotent for ({f:?}, {g:?}, {h:?})"
+                    );
+                }
+            }
+        }
+    }
+}

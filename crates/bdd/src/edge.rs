@@ -33,14 +33,25 @@ impl fmt::Display for Var {
     }
 }
 
-/// A (possibly complemented) reference to a BDD node.
+/// A (possibly complemented) reference to a BDD node — a bex-style
+/// packed *nid*.
 ///
-/// The low bit is the complement flag; the remaining bits index the node in
-/// the owning [`Manager`](crate::Manager)'s arena. Edges are only meaningful
-/// together with the manager that produced them.
+/// The whole reference is one `u32` word:
 ///
-/// The constant functions are [`Edge::ONE`] and [`Edge::ZERO`] (the
-/// complemented terminal).
+/// ```text
+/// bit 0      complement attribute
+/// bits 1..   node index into the owning manager's arena
+/// ```
+///
+/// The constants are *inlined*: node 0 is the terminal, so
+/// [`Edge::ONE`] is raw `0` and [`Edge::ZERO`] (the complemented
+/// terminal) is raw `1` — constant tests are single integer compares,
+/// complementation is one xor, and an edge costs 4 bytes wherever it is
+/// stored (node structs, table keys, memo tables). Edges are only
+/// meaningful together with the manager that produced them.
+///
+/// The table keys built from nids are packed the same way — see
+/// `nid.rs` for the `u128` key layouts.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Edge(pub(crate) u32);
 

@@ -13,7 +13,8 @@
 //! 4. no edge indexes past the arena,
 //! 5. computed-table (ITE cache) entries reference live nodes only,
 //! 6. the variable/level permutation tables are mutual inverses,
-//! 7. no node has identical then/else children.
+//! 7. no node has identical then/else children,
+//! 8. the GC root registry references arena nodes with positive counts.
 //!
 //! [`Manager::check_invariants`] always performs the full audit;
 //! [`Manager::audit`] is the cheap gate the flow calls at phase
@@ -125,7 +126,8 @@ impl Manager {
                 n - 1
             ));
         }
-        for (&(level, high, low), &idx) in &self.unique {
+        for (key, &idx) in &self.unique {
+            let (level, high, low) = key.unpack();
             if idx as usize >= n {
                 return violation(format!(
                     "unique table maps a triple to node {idx} past the arena of {n}"
@@ -143,7 +145,8 @@ impl Manager {
         }
 
         // Computed table references live nodes only.
-        for (&(f, g, h), &r) in &self.ite_cache {
+        for (key, &r) in &self.ite_cache {
+            let (f, g, h) = key.unpack();
             for (role, e) in [("f", f), ("g", g), ("h", h), ("result", r)] {
                 if e.node() as usize >= n {
                     return violation(format!(
@@ -151,6 +154,20 @@ impl Manager {
                         e.node()
                     ));
                 }
+            }
+        }
+
+        // GC root registry: in-arena node indices, positive refcounts.
+        for (&idx, &count) in &self.roots {
+            if idx as usize >= n {
+                return violation(format!(
+                    "root registry pins node {idx} past the arena of {n}"
+                ));
+            }
+            if count == 0 {
+                return violation(format!(
+                    "root registry holds node {idx} with a zero reference count"
+                ));
             }
         }
         Ok(())
@@ -180,6 +197,7 @@ fn violation(detail: String) -> Result<()> {
 mod tests {
     use super::*;
     use crate::manager::Node;
+    use crate::nid::{IteKey, UniqueKey};
 
     fn sample_manager() -> Manager {
         let mut m = Manager::new();
@@ -209,15 +227,15 @@ mod tests {
     fn complemented_then_edge_detected() {
         let mut m = sample_manager();
         let idx = m.nodes.len() - 1;
-        let triple = {
+        let key = {
             let node = &m.nodes[idx];
-            (node.level, node.high, node.low)
+            UniqueKey::pack(node.level, node.high, node.low)
         };
-        m.unique.remove(&triple);
+        m.unique.remove(&key);
         m.nodes[idx].high = m.nodes[idx].high.complement();
         let node = &m.nodes[idx];
         m.unique
-            .insert((node.level, node.high, node.low), idx as u32);
+            .insert(UniqueKey::pack(node.level, node.high, node.low), idx as u32);
         let err = m.check_invariants().unwrap_err();
         assert!(err.to_string().contains("complemented then-edge"), "{err}");
     }
@@ -228,8 +246,10 @@ mod tests {
         let copy = m.nodes[1];
         m.nodes.push(copy);
         // Keep counts consistent so the duplicate itself is what trips.
-        m.unique
-            .insert((copy.level, Edge::ZERO, copy.low), m.nodes.len() as u32);
+        m.unique.insert(
+            UniqueKey::pack(copy.level, Edge::ZERO, copy.low),
+            m.nodes.len() as u32,
+        );
         let err = m.check_invariants().unwrap_err();
         assert!(err.to_string().contains("duplicate"), "{err}");
     }
@@ -254,15 +274,15 @@ mod tests {
         let mut m = sample_manager();
         let bogus = Edge::new(10_000, false);
         let idx = m.nodes.len() - 1;
-        let triple = {
+        let key = {
             let node = &m.nodes[idx];
-            (node.level, node.high, node.low)
+            UniqueKey::pack(node.level, node.high, node.low)
         };
-        m.unique.remove(&triple);
+        m.unique.remove(&key);
         m.nodes[idx].low = bogus;
         let node = &m.nodes[idx];
         m.unique
-            .insert((node.level, node.high, node.low), idx as u32);
+            .insert(UniqueKey::pack(node.level, node.high, node.low), idx as u32);
         let err = m.check_invariants().unwrap_err();
         assert!(err.to_string().contains("past the arena"), "{err}");
     }
@@ -272,7 +292,7 @@ mod tests {
         let mut m = sample_manager();
         let bogus = Edge::new(9_999, false);
         m.ite_cache
-            .insert((bogus, Edge::ONE, Edge::ZERO), Edge::ONE);
+            .insert(IteKey::pack(bogus, Edge::ONE, Edge::ZERO), Edge::ONE);
         let err = m.check_invariants().unwrap_err();
         assert!(err.to_string().contains("computed-table"), "{err}");
     }
@@ -280,7 +300,8 @@ mod tests {
     #[test]
     fn unique_table_desync_detected() {
         let mut m = sample_manager();
-        m.unique.insert((0, Edge::ONE, Edge::ZERO), 0);
+        m.unique
+            .insert(UniqueKey::pack(0, Edge::ONE, Edge::ZERO), 0);
         // Either the count or the content check must fire.
         assert!(m.check_invariants().is_err());
     }

@@ -53,10 +53,24 @@
 //! 2. the then-edge (1-edge) is never complemented,
 //! 3. structurally identical nodes are unique (hash-consed).
 //!
-//! There is deliberately **no garbage collector**: BDS-style synthesis works
-//! on many short-lived *local* BDDs, and the paper's own answer to manager
-//! pollution is to rebuild into a fresh manager ("BDD mapping", §IV-B),
-//! which [`transfer::transfer`] implements directly.
+//! Node references are bex-style packed *nids*: a 32-bit word holding
+//! the arena index, a complement bit, and the constants inlined (see
+//! [`Edge`]). The unique and computed tables key on single packed words
+//! hashed by an in-tree wyhash/FNV-style function — no `SipHash`, no
+//! external dependency — and `ite` queries are reduced to canonical
+//! *standard triples* before the computed table is consulted (see the
+//! `canon` module docs).
+//!
+//! Two complementary mechanisms keep long-lived managers clean:
+//!
+//! * **rebuild into a fresh manager** — the paper's own answer to manager
+//!   pollution ("BDD mapping", §IV-B), which [`transfer::transfer`]
+//!   implements directly and sifting uses wholesale; and
+//! * **root-refcounted garbage collection** — [`Manager::add_root`] /
+//!   [`Manager::collect_garbage`] mark-compact the arena in stable
+//!   (deterministic) order so long flows stop dragging dead nodes
+//!   through reorder and transfer. See the `gc` module docs for the
+//!   protocol and its handle-invalidation rules.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -64,15 +78,21 @@
 mod apply;
 /// Deterministic effort budgets and fault injection.
 pub mod budget;
+mod canon;
 mod cofactor;
 mod count;
 mod cube;
 mod dot;
 mod edge;
 mod error;
+mod gc;
+mod hash;
 mod invariants;
 mod isop;
 mod manager;
+mod nid;
+/// Test-only truth-table reference engine for differential testing.
+pub mod oracle;
 /// Variable reordering: sifting and window permutation.
 pub mod reorder;
 mod restrict;
@@ -82,9 +102,11 @@ mod stats;
 pub mod transfer;
 
 pub use budget::Fault;
+pub use canon::IteNorm;
 pub use cube::Cube;
 pub use edge::{Edge, Var};
 pub use error::{BddError, OpClass};
+pub use gc::GcStats;
 pub use invariants::STRICT_CHECKS;
 pub use manager::Manager;
 pub use stats::{OpStats, TableStats};

@@ -1,9 +1,9 @@
 //! The BDD manager: node arena, unique table, variable order.
 
-use std::collections::HashMap;
-
 use crate::edge::{Edge, Var};
 use crate::error::BddError;
+use crate::hash::FastMap;
+use crate::nid::{IteKey, UniqueKey};
 use crate::stats::OpStats;
 use crate::Result;
 
@@ -42,8 +42,12 @@ pub(crate) struct Node {
 #[derive(Debug)]
 pub struct Manager {
     pub(crate) nodes: Vec<Node>,
-    pub(crate) unique: HashMap<(u32, Edge, Edge), u32>,
-    pub(crate) ite_cache: HashMap<(Edge, Edge, Edge), Edge>,
+    /// Hash-cons table: packed `(level, high, low)` key → node index.
+    pub(crate) unique: FastMap<UniqueKey, u32>,
+    /// ITE computed table: packed canonical `(f, g, h)` key → result.
+    pub(crate) ite_cache: FastMap<IteKey, Edge>,
+    /// GC root registry: node index → reference count (see `gc.rs`).
+    pub(crate) roots: FastMap<u32, u32>,
     pub(crate) var_names: Vec<String>,
     /// var index -> level.
     pub(crate) level_of_var: Vec<u32>,
@@ -79,8 +83,9 @@ impl Manager {
                 high: Edge::ONE,
                 low: Edge::ONE,
             }],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
+            unique: FastMap::default(),
+            ite_cache: FastMap::default(),
+            roots: FastMap::default(),
             var_names: Vec::new(),
             level_of_var: Vec::new(),
             var_at_level: Vec::new(),
@@ -233,7 +238,8 @@ impl Manager {
     fn mk_raw(&mut self, level: u32, high: Edge, low: Edge) -> Result<Edge> {
         debug_assert!(!high.is_complemented());
         debug_assert!(level < self.node_level(high) && level < self.node_level(low));
-        if let Some(&idx) = self.unique.get(&(level, high, low)) {
+        let key = UniqueKey::pack(level, high, low);
+        if let Some(&idx) = self.unique.get(&key) {
             self.ops.unique_hits += 1;
             return Ok(Edge::new(idx, false));
         }
@@ -245,7 +251,7 @@ impl Manager {
         }
         let idx = self.nodes.len() as u32;
         self.nodes.push(Node { level, high, low });
-        self.unique.insert((level, high, low), idx);
+        self.unique.insert(key, idx);
         self.ops.nodes_created += 1;
         Ok(Edge::new(idx, false))
     }

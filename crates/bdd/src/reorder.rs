@@ -17,7 +17,6 @@
 
 use crate::edge::{Edge, Var};
 use crate::manager::Manager;
-use crate::transfer::transfer_all;
 use crate::Result;
 
 /// Limits that keep sifting affordable.
@@ -78,7 +77,16 @@ pub fn reorder(src: &Manager, roots: &[Edge], order: &[Var]) -> Result<(Manager,
         .map(|i| dst.new_var(src.var_name(Var::from_index(i))))
         .collect();
     dst.set_order(order);
-    let new_roots = transfer_all(src, &mut dst, roots, &var_map)?;
+    let mut memo = crate::hash::FastMap::default();
+    let new_roots = crate::transfer::transfer_all_into(src, &mut dst, roots, &var_map, &mut memo)?;
+    // An order-preserving rebuild (the common "sifting found nothing"
+    // case) keeps every canonical ITE key valid, so the computed-table
+    // entries whose operands and result all survived come along — the
+    // decompose phase that follows re-asks many build-phase triples and
+    // now finds them instead of recomputing.
+    if order == src.order() {
+        crate::transfer::transplant_cache(src, &mut dst, &memo);
+    }
     dst.audit()?;
     Ok((dst, new_roots))
 }

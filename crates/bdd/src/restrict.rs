@@ -8,9 +8,8 @@
 //! Coudert–Madre \[25\]): exact BDD minimization under don't-cares is
 //! NP-complete, so a good heuristic is the practical choice.
 
-use std::collections::HashMap;
-
 use crate::edge::Edge;
+use crate::hash::FastMap;
 use crate::manager::Manager;
 use crate::Result;
 
@@ -40,23 +39,20 @@ impl Manager {
     /// ```
     pub fn restrict(&mut self, f: Edge, c: Edge) -> Result<Edge> {
         self.ops.restrict_calls += 1;
-        let mut memo = HashMap::new();
+        let mut memo = FastMap::default();
         self.restrict_rec(f, c, &mut memo)
     }
 
-    fn restrict_rec(
-        &mut self,
-        f: Edge,
-        c: Edge,
-        memo: &mut HashMap<(Edge, Edge), Edge>,
-    ) -> Result<Edge> {
+    fn restrict_rec(&mut self, f: Edge, c: Edge, memo: &mut FastMap<u64, Edge>) -> Result<Edge> {
         if c.is_one() || f.is_const() {
             return Ok(f);
         }
         if c.is_zero() {
             return Ok(Edge::ZERO);
         }
-        if let Some(&r) = memo.get(&(f, c)) {
+        // Packed (f, c) pair: one word, two fast-hash rounds.
+        let key = u64::from(f.raw()) | (u64::from(c.raw()) << 32);
+        if let Some(&r) = memo.get(&key) {
             self.ops.restrict_hits += 1;
             return Ok(r);
         }
@@ -85,7 +81,7 @@ impl Manager {
                 self.mk(level, r1, r0)?
             }
         };
-        memo.insert((f, c), r);
+        memo.insert(key, r);
         Ok(r)
     }
 }

@@ -78,6 +78,40 @@ impl OpStats {
         self.nodes_created += other.nodes_created;
     }
 
+    /// Counts accumulated since `baseline` was snapshotted off the same
+    /// manager: per-field saturating subtraction. Used by flow phases
+    /// that keep one warm manager across a phase boundary and must
+    /// attribute each phase's operations exactly once.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &OpStats) -> OpStats {
+        let mut d = OpStats {
+            ite_calls: self.ite_calls.saturating_sub(baseline.ite_calls),
+            terminal_hits: self.terminal_hits.saturating_sub(baseline.terminal_hits),
+            cache_hits: self.cache_hits.saturating_sub(baseline.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(baseline.cache_misses),
+            miss_depth: [0; MISS_DEPTH_BUCKETS],
+            restrict_calls: self.restrict_calls.saturating_sub(baseline.restrict_calls),
+            restrict_hits: self.restrict_hits.saturating_sub(baseline.restrict_hits),
+            restrict_misses: self
+                .restrict_misses
+                .saturating_sub(baseline.restrict_misses),
+            transfer_hits: self.transfer_hits.saturating_sub(baseline.transfer_hits),
+            transfer_misses: self
+                .transfer_misses
+                .saturating_sub(baseline.transfer_misses),
+            unique_hits: self.unique_hits.saturating_sub(baseline.unique_hits),
+            nodes_created: self.nodes_created.saturating_sub(baseline.nodes_created),
+        };
+        for (slot, (cur, base)) in d
+            .miss_depth
+            .iter_mut()
+            .zip(self.miss_depth.iter().zip(baseline.miss_depth.iter()))
+        {
+            *slot = cur.saturating_sub(*base);
+        }
+        d
+    }
+
     /// Merges an iterator of per-manager (or per-worker) counter sets
     /// into one total. Addition is commutative, so the result does not
     /// depend on the order worker threads finished in — the property the
@@ -189,9 +223,12 @@ impl TableStats {
     pub fn estimated_bytes(&self) -> usize {
         // Node is (u32 level, Edge high, Edge low); Edge is a u32 wrapper.
         let node = std::mem::size_of::<crate::manager::Node>();
-        let unique_slot = std::mem::size_of::<(u32, Edge, Edge)>() + std::mem::size_of::<u32>() + 1;
+        // The tables key on packed u128 words (see `nid.rs`), so a slot
+        // is key + value + one control byte.
+        let unique_slot =
+            std::mem::size_of::<crate::nid::UniqueKey>() + std::mem::size_of::<u32>() + 1;
         let computed_slot =
-            std::mem::size_of::<(Edge, Edge, Edge)>() + std::mem::size_of::<Edge>() + 1;
+            std::mem::size_of::<crate::nid::IteKey>() + std::mem::size_of::<Edge>() + 1;
         self.arena_nodes * node
             + self.unique_capacity * unique_slot
             + self.computed_capacity * computed_slot
@@ -235,15 +272,17 @@ impl Manager {
         counts
     }
 
-    /// Collision-chain lengths of the unique table under a *model* hash
-    /// (FNV-1a over the `(level, high, low)` key, bucketed modulo the
-    /// table capacity): the occupancy count of every non-empty bucket.
+    /// Collision-chain lengths of the unique table under the table's
+    /// *actual* hash (the in-tree fast hash over the packed key — see
+    /// `hash.rs`), bucketed modulo the table capacity: the occupancy
+    /// count of every non-empty bucket.
     ///
     /// `std::collections::HashMap` does not expose its buckets, so this
-    /// simulates the distribution with a fixed, seedless hash — the
-    /// result depends only on the key set and capacity, making it
-    /// deterministic across runs and thread counts while still
-    /// answering "how clumpy is the key space at this load factor".
+    /// simulates the distribution. Because the fast hash is fixed and
+    /// seedless, the model uses the very function the table uses — the
+    /// histogram is an honest picture of the deployed hash, not a proxy
+    /// — and the result depends only on the key set and capacity,
+    /// making it deterministic across runs and thread counts.
     #[must_use]
     pub fn unique_chain_lengths(&self) -> Vec<u64> {
         let buckets = self.unique.capacity();
@@ -251,14 +290,8 @@ impl Manager {
             return Vec::new();
         }
         let mut occupancy = vec![0u64; buckets];
-        for &(level, high, low) in self.unique.keys() {
-            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a offset basis
-            for word in [level, high.raw(), low.raw()] {
-                for byte in word.to_le_bytes() {
-                    h ^= u64::from(byte);
-                    h = h.wrapping_mul(0x1_0000_0100_01b3);
-                }
-            }
+        for key in self.unique.keys() {
+            let h = crate::hash::hash_packed(key.raw());
             occupancy[(h % buckets as u64) as usize] += 1;
         }
         let mut chains: Vec<u64> = occupancy.into_iter().filter(|&c| c > 0).collect();
@@ -306,19 +339,26 @@ mod tests {
         let mut m = Manager::new();
         let a = m.new_var("a");
         let b = m.new_var("b");
+        let c = m.new_var("c");
         let la = m.literal(a, true);
         let lb = m.literal(b, true);
-        let and1 = m.and(la, lb).unwrap();
+        let lc = m.literal(c, true);
+        // Literal-on-literal ops take the literal fast path (terminal
+        // hits, no table traffic); a composite operand forces a genuine
+        // computed-table miss.
+        let ab = m.and(la, lb).unwrap();
+        let and1 = m.and(ab, lc).unwrap();
         let before = m.table_stats();
         assert!(before.ops.ite_calls >= 1);
+        assert!(before.ops.terminal_hits >= 1);
         assert!(before.ops.cache_misses >= 1);
-        assert!(before.ops.nodes_created >= 3); // two literals + the AND node
+        assert!(before.ops.nodes_created >= 4); // three literals + the AND chain
         assert_eq!(before.arena_nodes, m.arena_size());
         assert_eq!(before.unique_entries, before.arena_nodes - 1);
         assert!(before.unique_capacity >= before.unique_entries);
 
         // The symmetric call normalizes to the same computed-table key.
-        let and2 = m.and(lb, la).unwrap();
+        let and2 = m.and(lc, ab).unwrap();
         assert_eq!(and1, and2);
         let after = m.table_stats();
         assert!(after.ops.cache_hits > before.ops.cache_hits);
@@ -374,6 +414,44 @@ mod tests {
                 nodes_created: 66,
             }
         );
+    }
+
+    #[test]
+    fn delta_since_inverts_merge_on_every_field() {
+        let baseline = OpStats {
+            ite_calls: 1,
+            terminal_hits: 7,
+            cache_hits: 2,
+            cache_misses: 3,
+            miss_depth: [1, 0, 2, 0, 0, 0, 0, 0],
+            restrict_calls: 4,
+            restrict_hits: 8,
+            restrict_misses: 9,
+            transfer_hits: 11,
+            transfer_misses: 12,
+            unique_hits: 5,
+            nodes_created: 6,
+        };
+        let growth = OpStats {
+            ite_calls: 10,
+            terminal_hits: 70,
+            cache_hits: 20,
+            cache_misses: 30,
+            miss_depth: [10, 20, 0, 0, 0, 0, 0, 0],
+            restrict_calls: 40,
+            restrict_hits: 80,
+            restrict_misses: 90,
+            transfer_hits: 110,
+            transfer_misses: 120,
+            unique_hits: 50,
+            nodes_created: 60,
+        };
+        let mut total = baseline;
+        total.merge(&growth);
+        // Counters are monotonic, so the delta off a later snapshot of
+        // the same manager recovers exactly the growth.
+        assert_eq!(total.delta_since(&baseline), growth);
+        assert_eq!(total.delta_since(&total), OpStats::default());
     }
 
     #[test]

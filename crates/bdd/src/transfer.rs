@@ -13,6 +13,7 @@ use std::collections::HashMap;
 
 use crate::edge::{Edge, Var};
 use crate::error::BddError;
+use crate::hash::FastMap;
 use crate::manager::Manager;
 use crate::Result;
 
@@ -60,7 +61,7 @@ pub fn transfer(src: &Manager, dst: &mut Manager, root: Edge, var_map: &[Var]) -
     for &v in var_map.iter().take(src.var_count()) {
         dst.check_var(v)?;
     }
-    let mut memo: HashMap<u32, Edge> = HashMap::new();
+    let mut memo: FastMap<u32, Edge> = FastMap::default();
     let out = transfer_rec(src, dst, root, var_map, &mut memo)?;
     bds_trace::counter!("bdd.transfer.calls");
     bds_trace::counter_add!("bdd.transfer.nodes", memo.len() as u64);
@@ -79,6 +80,21 @@ pub fn transfer_all(
     roots: &[Edge],
     var_map: &[Var],
 ) -> Result<Vec<Edge>> {
+    let mut memo: FastMap<u32, Edge> = FastMap::default();
+    transfer_all_into(src, dst, roots, var_map, &mut memo)
+}
+
+/// [`transfer_all`] with a caller-supplied memo, left populated with the
+/// source-node → destination-edge mapping of every transferred node.
+/// [`crate::reorder::reorder`] uses the mapping to re-home surviving
+/// computed-table entries alongside the graph.
+pub(crate) fn transfer_all_into(
+    src: &Manager,
+    dst: &mut Manager,
+    roots: &[Edge],
+    var_map: &[Var],
+    memo: &mut FastMap<u32, Edge>,
+) -> Result<Vec<Edge>> {
     if var_map.len() < src.var_count() {
         return Err(BddError::BadVarMap {
             detail: format!(
@@ -91,14 +107,62 @@ pub fn transfer_all(
     for &v in var_map.iter().take(src.var_count()) {
         dst.check_var(v)?;
     }
-    let mut memo: HashMap<u32, Edge> = HashMap::new();
     let out: Result<Vec<Edge>> = roots
         .iter()
-        .map(|&r| transfer_rec(src, dst, r, var_map, &mut memo))
+        .map(|&r| transfer_rec(src, dst, r, var_map, memo))
         .collect();
     bds_trace::counter!("bdd.transfer.calls");
     bds_trace::counter_add!("bdd.transfer.nodes", memo.len() as u64);
     out
+}
+
+/// The destination image of a source edge under a transfer `memo`, or
+/// `None` when the edge's node was not part of the transferred graph.
+fn image(e: Edge, memo: &FastMap<u32, Edge>) -> Option<Edge> {
+    if e.is_const() {
+        return Some(e);
+    }
+    memo.get(&e.node())
+        .map(|&m| m.complement_if(e.is_complemented()))
+}
+
+/// Re-homes the source manager's computed-table entries into `dst`
+/// through a transfer `memo`, returning how many entries survived.
+///
+/// Only valid when `dst` uses the **same variable order** as `src`:
+/// canonical ITE keys rank their arguments by level, so an entry's key
+/// stays canonical in the destination exactly when every variable kept
+/// its level. Entries naming any node outside the transferred graph
+/// (dead operands or a dead result) are dropped — which also makes the
+/// surviving set a pure function of the live graph, independent of
+/// whatever garbage-collection history the source manager had.
+pub(crate) fn transplant_cache(
+    src: &Manager,
+    dst: &mut Manager,
+    memo: &FastMap<u32, Edge>,
+) -> usize {
+    debug_assert_eq!(
+        src.order(),
+        dst.order(),
+        "cache transplant requires an unchanged order"
+    );
+    let mut kept = 0usize;
+    for (key, &r) in &src.ite_cache {
+        let (f, g, h) = key.unpack();
+        let (Some(fi), Some(gi), Some(hi), Some(ri)) = (
+            image(f, memo),
+            image(g, memo),
+            image(h, memo),
+            image(r, memo),
+        ) else {
+            continue;
+        };
+        dst.ite_cache
+            .insert(crate::nid::IteKey::pack(fi, gi, hi), ri);
+        kept += 1;
+    }
+    bds_trace::counter_add!("bdd.transfer.cache_entries", kept as u64);
+    kept
 }
 
 fn transfer_rec(
@@ -106,7 +170,7 @@ fn transfer_rec(
     dst: &mut Manager,
     e: Edge,
     var_map: &[Var],
-    memo: &mut HashMap<u32, Edge>,
+    memo: &mut FastMap<u32, Edge>,
 ) -> Result<Edge> {
     // Work on the regular node; re-apply the complement at the end. This
     // keeps the memo table keyed by node, not by edge.

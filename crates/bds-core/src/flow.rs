@@ -77,6 +77,8 @@ pub struct FlowParams {
     /// Resource governance: per-supernode effort budget, degradation
     /// ladder, and fault injection (see [`GovernParams`]).
     pub govern: GovernParams,
+    /// Garbage collection of build-phase managers (see [`GcPolicy`]).
+    pub gc: GcPolicy,
 }
 
 impl Default for FlowParams {
@@ -91,8 +93,74 @@ impl Default for FlowParams {
             global_blowup_factor: 1,
             jobs: default_jobs(),
             govern: GovernParams::default(),
+            gc: GcPolicy::default(),
         }
     }
+}
+
+/// Garbage-collection policy for the flow's build-phase BDD managers.
+///
+/// After a build phase finishes, its manager is full of dead
+/// intermediate nodes (cube conjunctions, collapsed divisors). The flow
+/// collects them at the build→reorder boundary — rooting exactly the
+/// live output functions, compacting the arena, and releasing the roots
+/// — so reordering's transfer source (and the arena held across it)
+/// stays proportional to the *live* graph.
+///
+/// Collection is **invisible downstream**: it runs after the build
+/// phase's statistics are captured, sifting rebuilds into fresh
+/// managers anyway, and [`bds_bdd::Manager::collect_garbage`] is
+/// deterministic and charges no effort ticks — so networks, reports,
+/// counters and budgets are byte-identical with the policy on or off,
+/// at any [`FlowParams::jobs`] setting. (The `bdd.gc.*` trace counters
+/// and the `gc.collect` journal event are the one deliberate trace of
+/// its work.)
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct GcPolicy {
+    /// Master switch; `false` makes the flow never collect.
+    pub enabled: bool,
+    /// Collect only when the manager's arena holds at least this many
+    /// nodes — below it, the mark-compact pass costs more than the
+    /// memory it returns. `1` forces a collection at every boundary
+    /// (the differential tests use this to maximize coverage).
+    pub min_nodes: usize,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        GcPolicy {
+            enabled: true,
+            min_nodes: 512,
+        }
+    }
+}
+
+/// Applies `policy` to `mgr` at a phase boundary: roots `handles`,
+/// mark-compacts, releases, and re-audits. The edges in `handles` are
+/// remapped in place. See [`GcPolicy`] for the invisibility contract.
+fn maybe_collect(
+    mgr: &mut Manager,
+    handles: &mut [bds_bdd::Edge],
+    policy: GcPolicy,
+) -> Result<(), NetworkError> {
+    if !policy.enabled || mgr.arena_size() < policy.min_nodes {
+        return Ok(());
+    }
+    for &e in handles.iter() {
+        mgr.add_root(e);
+    }
+    let stats = mgr.collect_garbage(handles);
+    for &e in handles.iter() {
+        mgr.release_root(e);
+    }
+    bds_trace::event!(
+        "gc.collect",
+        live = stats.live as u64,
+        collected = stats.collected as u64,
+        cache_dropped = stats.cache_dropped as u64,
+    );
+    // Phase boundary: the compacted manager must still be canonical.
+    mgr.audit().map_err(NetworkError::Bdd)
 }
 
 /// Deterministic resource governance for the partitioned flow.
@@ -387,6 +455,11 @@ pub fn optimize_global(
     let build_table = mgr.table_stats();
     let build_bytes = build_table.estimated_bytes();
     let mut peak_load = build_table.unique_load_factor();
+    // Build→reorder boundary: collect the global build's dead
+    // intermediates (after the build statistics were captured).
+    let mut mgr = mgr;
+    let mut edges = edges;
+    maybe_collect(&mut mgr, &mut edges, params.gc)?;
     // Reorder (paper §IV-C: reordering precedes decomposition).
     let (mut mgr, edges) = {
         let _span = bds_trace::span!("flow.reorder");
@@ -592,6 +665,12 @@ fn decompose_supernode_bdd(
     let build_bytes = build_table.estimated_bytes();
     let mut peak_load = build_table.unique_load_factor();
     let spent = mgr.effort_spent();
+    // Build→reorder boundary: shed the build's dead intermediates so
+    // sifting's transfer source is only the live graph. Runs after the
+    // build statistics were captured — invisible in every report.
+    let mut gc_handles = [edge];
+    maybe_collect(&mut mgr, &mut gc_handles, params.gc)?;
+    let edge = gc_handles[0];
     let (mut mgr, edges) = {
         let _span = bds_trace::span!("flow.reorder");
         sift(&mgr, &[edge], sift_limits).map_err(NetworkError::Bdd)?
